@@ -1,0 +1,288 @@
+//! Test-set compaction by set cover.
+
+/// Greedy set cover: picks tests covering the most still-uncovered faults
+/// first. `matrix[t][f]` says whether test `t` detects fault `f`;
+/// `coverable` restricts the universe (untestable faults are excluded by
+/// the caller). Returns indices of the chosen tests.
+pub fn greedy_cover(matrix: &[Vec<bool>], coverable: &[bool]) -> Vec<usize> {
+    let n_faults = coverable.len();
+    let mut uncovered: Vec<usize> = (0..n_faults)
+        .filter(|&f| coverable[f] && matrix.iter().any(|row| row[f]))
+        .collect();
+    let mut chosen = Vec::new();
+    let mut used = vec![false; matrix.len()];
+    while !uncovered.is_empty() {
+        let (best, gain) = matrix
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| !used[*t])
+            .map(|(t, row)| (t, uncovered.iter().filter(|&&f| row[f]).count()))
+            .max_by_key(|&(_, gain)| gain)
+            .unwrap_or((usize::MAX, 0));
+        if gain == 0 {
+            break;
+        }
+        used[best] = true;
+        chosen.push(best);
+        uncovered.retain(|&f| !matrix[best][f]);
+    }
+    chosen
+}
+
+/// Exact minimal cover by branch-and-bound (for the small exhaustive
+/// analyses — the §4.3 "necessary and sufficient" count). Falls back to
+/// the greedy answer if the search exceeds `node_budget`.
+pub fn exact_cover(matrix: &[Vec<bool>], coverable: &[bool], node_budget: usize) -> Vec<usize> {
+    let greedy = greedy_cover(matrix, coverable);
+    let targets: Vec<usize> = (0..coverable.len())
+        .filter(|&f| coverable[f] && matrix.iter().any(|row| row[f]))
+        .collect();
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    // Per-fault candidate tests.
+    let candidates: Vec<Vec<usize>> = targets
+        .iter()
+        .map(|&f| {
+            (0..matrix.len())
+                .filter(|&t| matrix[t][f])
+                .collect::<Vec<usize>>()
+        })
+        .collect();
+
+    struct Search<'m> {
+        matrix: &'m [Vec<bool>],
+        targets: &'m [usize],
+        candidates: &'m [Vec<usize>],
+        best: Vec<usize>,
+        nodes: usize,
+        budget: usize,
+    }
+    impl<'m> Search<'m> {
+        fn recurse(&mut self, chosen: &mut Vec<usize>, covered: &mut Vec<bool>) {
+            if self.nodes >= self.budget || chosen.len() + 1 > self.best.len() {
+                // Prune: cannot improve on the incumbent.
+                if chosen.len() >= self.best.len() {
+                    return;
+                }
+            }
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                return;
+            }
+            // First uncovered target.
+            let idx = match covered.iter().position(|&c| !c) {
+                Some(i) => i,
+                None => {
+                    if chosen.len() < self.best.len() {
+                        self.best = chosen.clone();
+                    }
+                    return;
+                }
+            };
+            if chosen.len() + 1 >= self.best.len() {
+                return; // even one more test cannot beat the incumbent
+            }
+            let cands = self.candidates[idx].clone();
+            for t in cands {
+                let mut newly = Vec::new();
+                for (k, &f) in self.targets.iter().enumerate() {
+                    if !covered[k] && self.matrix[t][f] {
+                        covered[k] = true;
+                        newly.push(k);
+                    }
+                }
+                chosen.push(t);
+                self.recurse(chosen, covered);
+                chosen.pop();
+                for k in newly {
+                    covered[k] = false;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        matrix,
+        targets: &targets,
+        candidates: &candidates,
+        best: greedy.clone(),
+        nodes: 0,
+        budget: node_budget,
+    };
+    let mut covered = vec![false; targets.len()];
+    search.recurse(&mut Vec::new(), &mut covered);
+    search.best
+}
+
+/// Greedy multi-cover: selects tests until every coverable fault is
+/// detected by at least `n` distinct tests (or its maximum achievable
+/// multiplicity, whichever is smaller) — the set-cover core of
+/// n-detect test generation.
+pub fn greedy_multicover(matrix: &[Vec<bool>], coverable: &[bool], n: usize) -> Vec<usize> {
+    let n_faults = coverable.len();
+    // Per-fault target: min(n, number of tests that can detect it).
+    let targets: Vec<usize> = (0..n_faults)
+        .map(|f| {
+            if !coverable[f] {
+                return 0;
+            }
+            matrix.iter().filter(|row| row[f]).count().min(n)
+        })
+        .collect();
+    let mut have = vec![0usize; n_faults];
+    let mut used = vec![false; matrix.len()];
+    let mut chosen = Vec::new();
+    loop {
+        let deficit: usize = (0..n_faults)
+            .map(|f| targets[f].saturating_sub(have[f]))
+            .sum();
+        if deficit == 0 {
+            break;
+        }
+        let best = matrix
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| !used[*t])
+            .map(|(t, row)| {
+                let gain: usize = (0..n_faults)
+                    .filter(|&f| row[f] && have[f] < targets[f])
+                    .count();
+                (t, gain)
+            })
+            .max_by_key(|&(_, gain)| gain);
+        match best {
+            Some((t, gain)) if gain > 0 => {
+                used[t] = true;
+                chosen.push(t);
+                for f in 0..n_faults {
+                    if matrix[t][f] {
+                        have[f] += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    chosen
+}
+
+/// Reverse-order pass: drops tests that are redundant given the rest —
+/// the classic cheap compaction after fault-simulation-based generation.
+pub fn reverse_order_drop(matrix: &[Vec<bool>], coverable: &[bool], tests: &[usize]) -> Vec<usize> {
+    let mut kept: Vec<usize> = tests.to_vec();
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let without: Vec<usize> = kept
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &t)| t)
+            .collect();
+        let still_covered = (0..coverable.len()).all(|f| {
+            if !coverable[f] || !kept.iter().any(|&t| matrix[t][f]) {
+                return true; // not in the covered universe
+            }
+            without.iter().any(|&t| matrix[t][f])
+        });
+        if still_covered {
+            kept.remove(i);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// faults: 0,1,2,3. tests: t0 covers {0,1}, t1 covers {1,2}, t2
+    /// covers {2,3}, t3 covers {3}.
+    fn matrix() -> Vec<Vec<bool>> {
+        vec![
+            vec![true, true, false, false],
+            vec![false, true, true, false],
+            vec![false, false, true, true],
+            vec![false, false, false, true],
+        ]
+    }
+
+    #[test]
+    fn greedy_covers_everything() {
+        let m = matrix();
+        let chosen = greedy_cover(&m, &[true; 4]);
+        // All faults covered by the chosen tests.
+        #[allow(clippy::needless_range_loop)]
+        for f in 0..4 {
+            assert!(chosen.iter().any(|&t| m[t][f]), "fault {f}");
+        }
+        assert!(chosen.len() <= 3);
+    }
+
+    #[test]
+    fn exact_finds_two_test_cover() {
+        let m = matrix();
+        let chosen = exact_cover(&m, &[true; 4], 100_000);
+        assert_eq!(chosen.len(), 2, "{chosen:?}"); // {t0, t2}
+    }
+
+    #[test]
+    fn uncoverable_faults_ignored() {
+        let mut m = matrix();
+        for row in &mut m {
+            row.push(false); // fault 4 undetectable
+        }
+        let chosen = exact_cover(&m, &[true; 5], 100_000);
+        assert_eq!(chosen.len(), 2);
+    }
+
+    #[test]
+    fn coverable_mask_restricts_universe() {
+        let m = matrix();
+        // Only fault 3 matters: one test suffices.
+        let chosen = exact_cover(&m, &[false, false, false, true], 100_000);
+        assert_eq!(chosen.len(), 1);
+    }
+
+    #[test]
+    fn multicover_reaches_requested_multiplicity() {
+        let m = matrix();
+        let chosen = greedy_multicover(&m, &[true; 4], 2);
+        // Fault 1 is coverable by t0 and t1; fault 3 by t2 and t3.
+        #[allow(clippy::needless_range_loop)]
+        for f in 0..4 {
+            let achievable = m.iter().filter(|row| row[f]).count().min(2);
+            let got = chosen.iter().filter(|&&t| m[t][f]).count();
+            assert!(got >= achievable, "fault {f}: {got} < {achievable}");
+        }
+        // n=1 multicover degenerates to ordinary cover size.
+        let single = greedy_multicover(&m, &[true; 4], 1);
+        assert!(single.len() <= chosen.len());
+    }
+
+    #[test]
+    fn multicover_caps_at_achievable() {
+        // Fault 0 detectable by only one test; asking for n=3 must not
+        // loop forever.
+        let m = vec![vec![true, false], vec![false, true], vec![false, true]];
+        let chosen = greedy_multicover(&m, &[true, true], 3);
+        assert!(chosen.contains(&0));
+        assert_eq!(chosen.len(), 3); // t0 once + both detectors of f1
+    }
+
+    #[test]
+    fn reverse_order_drops_redundant() {
+        let m = matrix();
+        // t0,t1,t2 cover everything; t1 is redundant given t0,t2.
+        let kept = reverse_order_drop(&m, &[true; 4], &[0, 1, 2]);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&0) && kept.contains(&2));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        assert!(greedy_cover(&[], &[]).is_empty());
+        assert!(exact_cover(&[], &[], 10).is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! The unified fault universe and test representation.
+
+use obd_core::faultmodel::{ObdFault, Polarity};
+use obd_logic::netlist::{GateId, GateKind, NetId, Netlist};
+use obd_logic::value::{format_vector, Lv};
+
+/// Transition direction a delay-style fault slows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlowTo {
+    /// Slow-to-rise.
+    Rise,
+    /// Slow-to-fall.
+    Fall,
+}
+
+/// Any fault the suite can generate tests for or grade against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Classical single stuck-at fault on a net.
+    StuckAt {
+        /// Faulty net.
+        net: NetId,
+        /// Stuck value.
+        value: bool,
+    },
+    /// Classical transition fault at a net (input-combination agnostic —
+    /// the model the paper shows to be insufficient for OBD).
+    Transition {
+        /// Faulty net.
+        net: NetId,
+        /// Slowed direction.
+        slow_to: SlowTo,
+    },
+    /// Gate oxide breakdown defect (the paper's model).
+    Obd(ObdFault),
+    /// Intra-gate electromigration defect (§5 contrast model): same sites
+    /// as OBD but excited whenever the transistor carries any switching
+    /// current.
+    Em {
+        /// The defective gate.
+        gate: GateId,
+        /// Input pin of the weakened transistor.
+        pin: usize,
+        /// Transistor polarity.
+        polarity: Polarity,
+    },
+}
+
+impl Fault {
+    /// Human-readable description.
+    pub fn describe(&self, nl: &Netlist) -> String {
+        match self {
+            Fault::StuckAt { net, value } => {
+                format!("{} sa{}", nl.net_name(*net), u8::from(*value))
+            }
+            Fault::Transition { net, slow_to } => format!(
+                "{} slow-to-{}",
+                nl.net_name(*net),
+                match slow_to {
+                    SlowTo::Rise => "rise",
+                    SlowTo::Fall => "fall",
+                }
+            ),
+            Fault::Obd(f) => format!("OBD {}", f.describe(nl)),
+            Fault::Em {
+                gate,
+                pin,
+                polarity,
+            } => format!("EM {}/pin{}:{}", nl.gate(*gate).name, pin, polarity),
+        }
+    }
+}
+
+/// When is a delay-type defect *detected*: its extra delay must exceed the
+/// detection mechanism's timing slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionCriterion {
+    /// Slack in picoseconds; extra delays at or below this are invisible.
+    pub slack_ps: f64,
+}
+
+impl DetectionCriterion {
+    /// Ideal early capture: any positive extra delay is observable —
+    /// the assumption under which the paper counts testable faults.
+    pub fn ideal() -> Self {
+        DetectionCriterion { slack_ps: 0.0 }
+    }
+
+    /// A concrete slack in picoseconds.
+    pub fn with_slack(slack_ps: f64) -> Self {
+        DetectionCriterion { slack_ps }
+    }
+}
+
+/// A two-pattern test. Single-vector (stuck-at style) tests are
+/// represented with `v1 == v2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TwoPatternTest {
+    /// Launch vector.
+    pub v1: Vec<Lv>,
+    /// Capture vector.
+    pub v2: Vec<Lv>,
+}
+
+impl TwoPatternTest {
+    /// Builds a test from fully-specified bool vectors.
+    pub fn from_bools(v1: &[bool], v2: &[bool]) -> Self {
+        TwoPatternTest {
+            v1: v1.iter().map(|&b| Lv::from_bool(b)).collect(),
+            v2: v2.iter().map(|&b| Lv::from_bool(b)).collect(),
+        }
+    }
+
+    /// Fills don't-cares: an `X` in one frame takes the other frame's
+    /// value (minimizing spurious transitions); double-`X` positions
+    /// become 0.
+    pub fn fill_x(&mut self) {
+        for i in 0..self.v1.len() {
+            match (self.v1[i], self.v2[i]) {
+                (Lv::X, Lv::X) => {
+                    self.v1[i] = Lv::Zero;
+                    self.v2[i] = Lv::Zero;
+                }
+                (Lv::X, v) => self.v1[i] = v,
+                (v, Lv::X) => self.v2[i] = v,
+                _ => {}
+            }
+        }
+    }
+
+    /// Number of PIs that switch between the frames.
+    pub fn switching_inputs(&self) -> usize {
+        self.v1
+            .iter()
+            .zip(self.v2.iter())
+            .filter(|(a, b)| a.is_known() && b.is_known() && a != b)
+            .count()
+    }
+
+    /// Renders like `(011,111)`.
+    pub fn render(&self) -> String {
+        format!("({},{})", format_vector(&self.v1), format_vector(&self.v2))
+    }
+}
+
+/// Generates the classical (uncollapsed) stuck-at fault list: every net,
+/// both polarities.
+pub fn stuck_at_faults(nl: &Netlist) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for net in nl.net_ids() {
+        for value in [false, true] {
+            out.push(Fault::StuckAt { net, value });
+        }
+    }
+    out
+}
+
+/// Structurally collapsed stuck-at list using gate input/output
+/// equivalences (e.g. NAND input sa-0 ≡ output sa-1); fanout-free inputs
+/// keep only the representative at the gate output.
+pub fn collapsed_stuck_at_faults(nl: &Netlist) -> Vec<Fault> {
+    let fanouts = nl.fanouts();
+    let mut out = Vec::new();
+    for net in nl.net_ids() {
+        for value in [false, true] {
+            // A fault at a gate input with fanout 1 is equivalent to a
+            // fault at that gate's output if the input value is the
+            // controlling value (or the only input for INV/BUF).
+            let mut equivalent_to_output = false;
+            if fanouts[net.index()].len() == 1 && !nl.outputs().contains(&net) {
+                let (g, _) = fanouts[net.index()][0];
+                let kind = nl.gate(g).kind;
+                equivalent_to_output = match kind {
+                    GateKind::Inv | GateKind::Buf => true,
+                    GateKind::And | GateKind::Nand => !value, // sa-0 dominated
+                    GateKind::Or | GateKind::Nor => value,    // sa-1 dominated
+                    GateKind::Xor | GateKind::Xnor => false,
+                };
+            }
+            if !equivalent_to_output {
+                out.push(Fault::StuckAt { net, value });
+            }
+        }
+    }
+    out
+}
+
+/// Generates the transition-fault list: both directions at every net.
+pub fn transition_faults(nl: &Netlist) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for net in nl.net_ids() {
+        out.push(Fault::Transition {
+            net,
+            slow_to: SlowTo::Rise,
+        });
+        out.push(Fault::Transition {
+            net,
+            slow_to: SlowTo::Fall,
+        });
+    }
+    out
+}
+
+/// Generates the OBD fault list at a given stage (see
+/// [`obd_core::faultmodel::enumerate_sites`]).
+pub fn obd_faults(
+    nl: &Netlist,
+    stage: obd_core::BreakdownStage,
+    nand_only: bool,
+) -> Vec<Fault> {
+    obd_core::faultmodel::enumerate_sites(nl, stage, nand_only)
+        .into_iter()
+        .map(Fault::Obd)
+        .collect()
+}
+
+/// Structurally collapsed OBD fault list: faults whose excitation sets
+/// and fault effects provably coincide keep one representative.
+///
+/// For a *series* stack every device is essential whenever the stack
+/// conducts, so all NMOS defects of a NAND (dually, all PMOS defects of
+/// a NOR) share both the excitation set and the output effect — they are
+/// gate-level equivalent, and the list keeps only pin 0. Parallel-bank
+/// devices have input-specific (distinct) sets and all stay. For a
+/// NAND2 this collapses 4 sites to 3, matching the paper's three-entry
+/// necessary-and-sufficient structure.
+pub fn collapsed_obd_faults(
+    nl: &Netlist,
+    stage: obd_core::BreakdownStage,
+    nand_only: bool,
+) -> Vec<Fault> {
+    obd_core::faultmodel::enumerate_sites(nl, stage, nand_only)
+        .into_iter()
+        .filter(|f| {
+            let kind = nl.gate(f.gate).kind;
+            let series_side = match kind {
+                // NAND/AND: NMOS stack is series.
+                GateKind::Nand | GateKind::And => f.polarity == obd_core::faultmodel::Polarity::Nmos,
+                // NOR/OR: PMOS stack is series.
+                GateKind::Nor | GateKind::Or => f.polarity == obd_core::faultmodel::Polarity::Pmos,
+                _ => false,
+            };
+            // Series-side faults collapse onto pin 0.
+            !series_side || f.pin == 0
+        })
+        .map(Fault::Obd)
+        .collect()
+}
+
+/// Generates the EM fault list over the same sites as the OBD list.
+pub fn em_faults(nl: &Netlist, nand_only: bool) -> Vec<Fault> {
+    obd_core::faultmodel::enumerate_sites(nl, obd_core::BreakdownStage::Mbd1, nand_only)
+        .into_iter()
+        .map(|f| Fault::Em {
+            gate: f.gate,
+            pin: f.pin,
+            polarity: f.polarity,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obd_logic::circuits::{c17, fig8_sum_circuit};
+
+    #[test]
+    fn stuck_at_list_covers_all_nets() {
+        let nl = c17();
+        let faults = stuck_at_faults(&nl);
+        assert_eq!(faults.len(), nl.num_nets() * 2);
+    }
+
+    #[test]
+    fn collapsing_reduces_list() {
+        let nl = c17();
+        let full = stuck_at_faults(&nl);
+        let collapsed = collapsed_stuck_at_faults(&nl);
+        assert!(collapsed.len() < full.len());
+        assert!(!collapsed.is_empty());
+    }
+
+    #[test]
+    fn obd_list_matches_paper_count() {
+        let nl = fig8_sum_circuit();
+        assert_eq!(
+            obd_faults(&nl, obd_core::BreakdownStage::Mbd2, true).len(),
+            56
+        );
+    }
+
+    /// NAND2: 4 sites collapse to 3 (both series NMOS devices are
+    /// equivalent); fig8: 56 -> 42.
+    #[test]
+    fn obd_collapsing_merges_series_devices() {
+        let nl = fig8_sum_circuit();
+        let collapsed = collapsed_obd_faults(&nl, obd_core::BreakdownStage::Mbd2, true);
+        assert_eq!(collapsed.len(), 42); // 14 NANDs * (1 NMOS + 2 PMOS)
+    }
+
+    /// The collapse is sound: every test detects a collapsed-away NMOS
+    /// fault iff it detects the representative.
+    #[test]
+    fn collapsed_faults_are_detection_equivalent() {
+        use crate::faultsim::FaultSimulator;
+        let nl = fig8_sum_circuit();
+        let sim = FaultSimulator::new(&nl).unwrap();
+        let tests = crate::random::exhaustive_two_pattern(3);
+        for g in nl.gate_ids() {
+            if nl.gate(g).kind != GateKind::Nand {
+                continue;
+            }
+            let make = |pin| {
+                Fault::Obd(obd_core::faultmodel::ObdFault {
+                    gate: g,
+                    pin,
+                    polarity: obd_core::faultmodel::Polarity::Nmos,
+                    stage: obd_core::BreakdownStage::Mbd2,
+                })
+            };
+            let (f0, f1) = (make(0), make(1));
+            for t in &tests {
+                assert_eq!(
+                    sim.detects(&f0, t).unwrap(),
+                    sim.detects(&f1, t).unwrap(),
+                    "{} vs {} under {}",
+                    f0.describe(&nl),
+                    f1.describe(&nl),
+                    t.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_x_minimizes_switching() {
+        let mut t = TwoPatternTest {
+            v1: vec![Lv::X, Lv::One, Lv::X],
+            v2: vec![Lv::Zero, Lv::X, Lv::X],
+        };
+        t.fill_x();
+        assert_eq!(t.v1, vec![Lv::Zero, Lv::One, Lv::Zero]);
+        assert_eq!(t.v2, vec![Lv::Zero, Lv::One, Lv::Zero]);
+        assert_eq!(t.switching_inputs(), 0);
+    }
+
+    #[test]
+    fn render_and_describe() {
+        let nl = c17();
+        let t = TwoPatternTest::from_bools(&[true, false, true, true, false], &[true; 5]);
+        assert_eq!(t.render(), "(10110,11111)");
+        let f = Fault::StuckAt {
+            net: nl.find_net("10").unwrap(),
+            value: true,
+        };
+        assert_eq!(f.describe(&nl), "10 sa1");
+    }
+}

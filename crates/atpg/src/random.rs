@@ -1,0 +1,107 @@
+//! Random-pattern baselines — the "traditional pattern generator" the
+//! paper shows to be insufficient for PMOS OBD defects.
+
+use obd_logic::value::Lv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::TwoPatternTest;
+
+/// Uniformly random two-pattern tests.
+pub fn random_two_pattern(n_inputs: usize, count: usize, seed: u64) -> Vec<TwoPatternTest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen())).collect();
+            let v2: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen())).collect();
+            TwoPatternTest { v1, v2 }
+        })
+        .collect()
+}
+
+/// Launch-on-shift-style tests: the second vector differs from the first
+/// in exactly one randomly chosen position — a common constraint of scan
+/// based two-pattern delivery.
+pub fn single_input_change(n_inputs: usize, count: usize, seed: u64) -> Vec<TwoPatternTest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen())).collect();
+            let mut v2 = v1.clone();
+            let flip = rng.gen_range(0..n_inputs);
+            v2[flip] = !v2[flip];
+            TwoPatternTest { v1, v2 }
+        })
+        .collect()
+}
+
+/// Weighted random tests biased toward all-ones first vectors — the
+/// natural bias for exercising NAND-heavy logic.
+pub fn weighted_two_pattern(
+    n_inputs: usize,
+    count: usize,
+    one_probability: f64,
+    seed: u64,
+) -> Vec<TwoPatternTest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bit = |rng: &mut StdRng| Lv::from_bool(rng.gen_bool(one_probability));
+    (0..count)
+        .map(|_| {
+            let v1: Vec<Lv> = (0..n_inputs).map(|_| bit(&mut rng)).collect();
+            let v2: Vec<Lv> = (0..n_inputs).map(|_| bit(&mut rng)).collect();
+            TwoPatternTest { v1, v2 }
+        })
+        .collect()
+}
+
+/// Every exhaustive two-pattern test over `n` inputs with `v1 != v2` —
+/// usable only for small `n`; the §4.3 candidate universe.
+///
+/// # Panics
+///
+/// Panics if `n > 8`.
+pub fn exhaustive_two_pattern(n: usize) -> Vec<TwoPatternTest> {
+    assert!(n <= 8, "exhaustive set too large");
+    obd_core::excitation::all_input_pairs(n)
+        .into_iter()
+        .map(|(v1, v2)| TwoPatternTest::from_bools(&v1, &v2))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = random_two_pattern(5, 10, 42);
+        let b = random_two_pattern(5, 10, 42);
+        assert_eq!(a, b);
+        let c = random_two_pattern(5, 10, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_input_change_flips_exactly_one() {
+        for t in single_input_change(8, 50, 7) {
+            assert_eq!(t.switching_inputs(), 1, "{}", t.render());
+        }
+    }
+
+    #[test]
+    fn weighted_bias_shows_in_population() {
+        let tests = weighted_two_pattern(8, 200, 0.9, 1);
+        let ones: usize = tests
+            .iter()
+            .flat_map(|t| t.v1.iter().chain(t.v2.iter()))
+            .filter(|&&v| v == Lv::One)
+            .count();
+        let total = 200 * 16;
+        assert!(ones as f64 / total as f64 > 0.8);
+    }
+
+    #[test]
+    fn exhaustive_count() {
+        assert_eq!(exhaustive_two_pattern(3).len(), 56);
+    }
+}

@@ -1,0 +1,147 @@
+//! A plain-text interchange format for two-pattern test sets.
+//!
+//! ```text
+//! # obd-suite test set
+//! inputs a b cin
+//! 011 -> 111
+//! 110 -> 100
+//! ```
+//!
+//! The `inputs` header pins the bit order to named primary inputs, so a
+//! set written against one netlist can be validated against (and applied
+//! to) another with the same interface.
+
+use obd_logic::netlist::Netlist;
+use obd_logic::value::{format_vector, parse_vector};
+
+use crate::fault::TwoPatternTest;
+use crate::AtpgError;
+
+/// Serializes a test set against a netlist's primary-input names.
+pub fn write_tests(nl: &Netlist, tests: &[TwoPatternTest]) -> String {
+    let mut s = String::from("# obd-suite test set\ninputs");
+    for &pi in nl.inputs() {
+        s.push(' ');
+        s.push_str(nl.net_name(pi));
+    }
+    s.push('\n');
+    for t in tests {
+        s.push_str(&format!(
+            "{} -> {}\n",
+            format_vector(&t.v1),
+            format_vector(&t.v2)
+        ));
+    }
+    s
+}
+
+/// Parses a test set and validates it against the netlist interface.
+///
+/// # Errors
+///
+/// [`AtpgError::Netlist`] for malformed lines, interface mismatches or
+/// wrong vector widths.
+pub fn read_tests(nl: &Netlist, text: &str) -> Result<Vec<TwoPatternTest>, AtpgError> {
+    let mut tests = Vec::new();
+    let mut header_seen = false;
+    let expected: Vec<&str> = nl.inputs().iter().map(|&pi| nl.net_name(pi)).collect();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("inputs") {
+            let names: Vec<&str> = rest.split_whitespace().collect();
+            if names != expected {
+                return Err(AtpgError::Netlist(format!(
+                    "line {}: input header {:?} does not match netlist {:?}",
+                    lineno + 1,
+                    names,
+                    expected
+                )));
+            }
+            header_seen = true;
+            continue;
+        }
+        let (lhs, rhs) = line.split_once("->").ok_or_else(|| {
+            AtpgError::Netlist(format!("line {}: expected 'v1 -> v2'", lineno + 1))
+        })?;
+        let v1 = parse_vector(lhs.trim()).map_err(|c| {
+            AtpgError::Netlist(format!("line {}: bad character '{c}'", lineno + 1))
+        })?;
+        let v2 = parse_vector(rhs.trim()).map_err(|c| {
+            AtpgError::Netlist(format!("line {}: bad character '{c}'", lineno + 1))
+        })?;
+        if v1.len() != expected.len() || v2.len() != expected.len() {
+            return Err(AtpgError::VectorWidth {
+                expected: expected.len(),
+                found: v1.len().max(v2.len()),
+            });
+        }
+        tests.push(TwoPatternTest { v1, v2 });
+    }
+    if !header_seen {
+        return Err(AtpgError::Netlist("missing 'inputs' header".into()));
+    }
+    Ok(tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DetectionCriterion;
+    use crate::generate::generate_obd_tests;
+    use obd_core::BreakdownStage;
+    use obd_logic::circuits::fig8_sum_circuit;
+
+    #[test]
+    fn roundtrip_preserves_tests() {
+        let nl = fig8_sum_circuit();
+        let report = generate_obd_tests(
+            &nl,
+            BreakdownStage::Mbd2,
+            &DetectionCriterion::ideal(),
+            true,
+        )
+        .unwrap();
+        let text = write_tests(&nl, &report.tests);
+        let back = read_tests(&nl, &text).unwrap();
+        assert_eq!(back, report.tests);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let nl = fig8_sum_circuit();
+        let text = "inputs X Y Z\n000 -> 111\n";
+        assert!(read_tests(&nl, text).is_err());
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let nl = fig8_sum_circuit();
+        assert!(read_tests(&nl, "000 -> 111\n").is_err());
+    }
+
+    #[test]
+    fn width_and_syntax_checked() {
+        let nl = fig8_sum_circuit();
+        let text = "inputs A B C\n00 -> 111\n";
+        assert!(matches!(
+            read_tests(&nl, text),
+            Err(AtpgError::VectorWidth { .. })
+        ));
+        let text2 = "inputs A B C\n001 111\n";
+        assert!(read_tests(&nl, text2).is_err());
+        let text3 = "inputs A B C\n0q1 -> 111\n";
+        assert!(read_tests(&nl, text3).is_err());
+    }
+
+    #[test]
+    fn comments_and_x_bits_supported() {
+        let nl = fig8_sum_circuit();
+        let text = "# set\ninputs A B C\n0X1 -> 111 # trailing\n";
+        let tests = read_tests(&nl, text).unwrap();
+        assert_eq!(tests.len(), 1);
+        assert_eq!(tests[0].render(), "(0X1,111)");
+    }
+}

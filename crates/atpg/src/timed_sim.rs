@@ -1,0 +1,248 @@
+//! Timing-accurate OBD fault simulation.
+//!
+//! The static two-frame semantics of [`crate::faultsim`] approximate
+//! at-speed detection with a per-gate slack. This module provides the
+//! reference: event-driven timing simulation of the *annotated* circuit
+//! (the defective gate carries its stage's extra delay), with primary
+//! outputs sampled exactly at the capture clock edge — including glitch
+//! and multi-path effects the static model cannot see.
+
+use obd_core::annotate::{annotate_fault, delay_model_from_table};
+use obd_core::characterize::DelayTable;
+use obd_core::faultmodel::ObdFault;
+use obd_logic::netlist::Netlist;
+use obd_logic::timing::{timing_simulate, DelayModel, InputEvent};
+use obd_logic::value::Lv;
+
+use crate::fault::TwoPatternTest;
+use crate::AtpgError;
+
+/// Outcome of a timed two-pattern application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOutcome {
+    /// Primary-output values captured at the clock edge.
+    pub captured: Vec<Lv>,
+    /// The settled (untimed) final values, for reference.
+    pub settled: Vec<Lv>,
+}
+
+/// Applies a two-pattern test to a delay-annotated circuit and captures
+/// the primary outputs at `clock_ps` after launch.
+///
+/// # Errors
+///
+/// Propagates simulation errors; tests with `X` bits are rejected.
+pub fn apply_timed(
+    nl: &Netlist,
+    model: &DelayModel,
+    test: &TwoPatternTest,
+    clock_ps: f64,
+) -> Result<TimedOutcome, AtpgError> {
+    if test.v1.iter().chain(test.v2.iter()).any(|v| !v.is_known()) {
+        return Err(AtpgError::Netlist(
+            "timed application requires fully-specified tests".into(),
+        ));
+    }
+    let events: Vec<InputEvent> = nl
+        .inputs()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| test.v1[*i] != test.v2[*i])
+        .map(|(i, &net)| InputEvent {
+            net,
+            time_ps: 0.0,
+            value: test.v2[i],
+        })
+        .collect();
+    let result = timing_simulate(nl, model, &test.v1, &events)?;
+    let captured = nl
+        .outputs()
+        .iter()
+        .map(|&po| result.wave(po).value_at(clock_ps))
+        .collect();
+    let settled = nl
+        .outputs()
+        .iter()
+        .map(|&po| result.wave(po).final_value())
+        .collect();
+    Ok(TimedOutcome { captured, settled })
+}
+
+/// Timing-accurate detection: the annotated-faulty circuit's captured
+/// outputs differ from the healthy circuit's.
+///
+/// Stuck stages (where no finite delay annotation exists) fall back to
+/// the static stuck-at semantics of [`crate::faultsim`].
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn detects_timed(
+    nl: &Netlist,
+    fault: &ObdFault,
+    test: &TwoPatternTest,
+    table: &DelayTable,
+    clock_ps: f64,
+) -> Result<bool, AtpgError> {
+    let base = delay_model_from_table(table);
+    let mut faulty_model = base.clone();
+    if annotate_fault(&mut faulty_model, nl, fault, table).is_err() {
+        // Stuck stage: defer to the static model.
+        let sim = crate::faultsim::FaultSimulator::with_criterion(
+            nl,
+            table.clone(),
+            crate::fault::DetectionCriterion::ideal(),
+        )?;
+        return sim.detects(&crate::fault::Fault::Obd(*fault), test);
+    }
+    // Excitation gating is inherited from the structural model: the
+    // annotated delay slows *all* transitions of that polarity, but a
+    // non-excited defect in reality adds no delay, so suppress those.
+    let sim = crate::faultsim::FaultSimulator::with_criterion(
+        nl,
+        table.clone(),
+        crate::fault::DetectionCriterion::ideal(),
+    )?;
+    if !sim.detects(&crate::fault::Fault::Obd(*fault), test)? {
+        // Not even excited+propagated statically: no timed effect either
+        // (the static ideal-slack model is a superset of timed detection).
+        return Ok(false);
+    }
+    let good = apply_timed(nl, &base, test, clock_ps)?;
+    let bad = apply_timed(nl, &faulty_model, test, clock_ps)?;
+    Ok(good
+        .captured
+        .iter()
+        .zip(bad.captured.iter())
+        .any(|(g, b)| g.is_known() && b.is_known() && g != b))
+}
+
+/// Coverage comparison: detected counts under (a) the static per-gate
+/// slack approximation and (b) timing-accurate capture, for the same
+/// clock. Returns `(static_detected, timed_detected)`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn compare_static_vs_timed(
+    nl: &Netlist,
+    faults: &[ObdFault],
+    tests: &[TwoPatternTest],
+    table: &DelayTable,
+    clock_ps: f64,
+) -> Result<(usize, usize), AtpgError> {
+    let model = delay_model_from_table(table);
+    let static_sim =
+        crate::faultsim::FaultSimulator::with_clock(nl, table.clone(), &model, clock_ps)?;
+    let mut static_count = 0;
+    let mut timed_count = 0;
+    for f in faults {
+        let mut s = false;
+        let mut t = false;
+        for test in tests {
+            if !s && static_sim.detects(&crate::fault::Fault::Obd(*f), test)? {
+                s = true;
+            }
+            if !t && detects_timed(nl, f, test, table, clock_ps)? {
+                t = true;
+            }
+            if s && t {
+                break;
+            }
+        }
+        static_count += usize::from(s);
+        timed_count += usize::from(t);
+    }
+    Ok((static_count, timed_count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obd_core::faultmodel::Polarity;
+    use obd_core::BreakdownStage;
+    use obd_logic::circuits::fig8_sum_circuit;
+
+    fn g6_fault(stage: BreakdownStage, polarity: Polarity) -> (Netlist, ObdFault) {
+        let nl = fig8_sum_circuit();
+        let g6 = nl.driver(nl.find_net("g6").unwrap()).unwrap();
+        (
+            nl,
+            ObdFault {
+                gate: g6,
+                pin: 0,
+                polarity,
+                stage,
+            },
+        )
+    }
+
+    fn exciting_test() -> TwoPatternTest {
+        // From the Fig. 9 experiment: (001,101) excites g6's PMOS pin 0.
+        TwoPatternTest::from_bools(&[false, false, true], &[true, false, true])
+    }
+
+    #[test]
+    fn slow_clock_hides_the_delay_fast_clock_shows_it() {
+        let (nl, fault) = g6_fault(BreakdownStage::Mbd2, Polarity::Pmos);
+        let table = DelayTable::paper();
+        let test = exciting_test();
+        // Critical path ≈ 900 ps at the paper's delays; MBD2 PMOS adds
+        // ~628 ps.
+        let fast = detects_timed(&nl, &fault, &test, &table, 1000.0).unwrap();
+        let slow = detects_timed(&nl, &fault, &test, &table, 5000.0).unwrap();
+        assert!(fast, "tight capture must catch the delayed transition");
+        assert!(!slow, "a relaxed capture sees the settled (correct) value");
+    }
+
+    #[test]
+    fn captured_equals_settled_when_clock_is_generous() {
+        let nl = fig8_sum_circuit();
+        let table = DelayTable::paper();
+        let model = delay_model_from_table(&table);
+        let t = exciting_test();
+        let out = apply_timed(&nl, &model, &t, 10_000.0).unwrap();
+        assert_eq!(out.captured, out.settled);
+    }
+
+    #[test]
+    fn x_bits_rejected() {
+        let nl = fig8_sum_circuit();
+        let table = DelayTable::paper();
+        let model = delay_model_from_table(&table);
+        let mut t = exciting_test();
+        t.v2[1] = Lv::X;
+        assert!(apply_timed(&nl, &model, &t, 1000.0).is_err());
+    }
+
+    #[test]
+    fn non_excited_defect_never_detected_timed() {
+        let (nl, fault) = g6_fault(BreakdownStage::Mbd2, Polarity::Pmos);
+        let table = DelayTable::paper();
+        // A sequence that switches the *other* pin of g6.
+        let masked = TwoPatternTest::from_bools(&[false, false, true], &[false, false, false]);
+        assert!(!detects_timed(&nl, &fault, &masked, &table, 1000.0).unwrap());
+    }
+
+    #[test]
+    fn static_approximation_close_to_timed_reference() {
+        let nl = fig8_sum_circuit();
+        let table = DelayTable::paper();
+        let faults: Vec<ObdFault> =
+            obd_core::faultmodel::enumerate_sites(&nl, BreakdownStage::Mbd2, true);
+        let tests = crate::random::exhaustive_two_pattern(3);
+        let clock = 1100.0; // slightly above the 900 ps critical path
+        let (s, t) = compare_static_vs_timed(&nl, &faults, &tests, &table, clock).unwrap();
+        // Both models detect a solid share of the 32 testable faults at
+        // this clock. The static model uses each gate's *worst-path*
+        // slack, so it over-approximates detectability: a defect whose
+        // only sensitized path is short settles before the capture edge
+        // even though the critical path through the gate would not.
+        assert!(t >= 8, "timed detected only {t}");
+        assert!(s >= t, "static {s} must over-approximate timed {t}");
+        assert!(
+            (s - t) <= 10,
+            "approximation too loose: static {s} vs timed {t}"
+        );
+    }
+}

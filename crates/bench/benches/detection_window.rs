@@ -1,0 +1,30 @@
+//! E10 — detection-window analysis: prints the slack sweep once, then
+//! times the window computation (the operation a fault-tolerance
+//! scheduler would run per defect class).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obd_bench::experiments::window;
+use obd_core::characterize::DelayTable;
+use obd_core::faultmodel::Polarity;
+use obd_core::progression::ProgressionModel;
+use obd_core::window::detection_window;
+
+fn bench_window(c: &mut Criterion) {
+    let table = DelayTable::paper();
+    let rows = window::run(&table, &[5.0, 25.0, 100.0, 400.0]);
+    println!("\n{}", window::render(&rows));
+
+    let prog = ProgressionModel::reference(Polarity::Nmos);
+    let mut group = c.benchmark_group("window");
+    group.bench_function("detection_window_single", |b| {
+        b.iter(|| detection_window(&table, &prog, Polarity::Nmos, 40.0))
+    });
+    group.bench_function("slack_sweep_100pts", |b| {
+        let slacks: Vec<f64> = (1..=100).map(|k| 4.0 * k as f64).collect();
+        b.iter(|| window::run(&table, &slacks))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

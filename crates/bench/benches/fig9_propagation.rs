@@ -1,0 +1,56 @@
+//! E5 — Fig. 9 benchmark: prints the propagation table once, then times
+//! one full-circuit analog run of the 25-gate sum network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obd_bench::experiments::fig9;
+use obd_cmos::expand::expand;
+use obd_cmos::TechParams;
+use obd_core::BreakdownStage;
+use obd_logic::circuits::fig8_sum_circuit;
+use obd_spice::analysis::tran::{transient_with_options, TranParams};
+use obd_spice::devices::SourceWave;
+use obd_spice::SimOptions;
+
+fn bench_fig9(c: &mut Criterion) {
+    let tech = TechParams::date05();
+    let mut cfg = obd_bench::quick_bench_config();
+    cfg.step_ps = 6.0;
+    cfg.window_ps = 3000.0;
+    match fig9::run(&tech, BreakdownStage::Mbd2, &cfg) {
+        Ok(rows) => println!("\n{}", fig9::render(&rows)),
+        Err(e) => eprintln!("fig9 artifact failed: {e}"),
+    }
+
+    let nl = fig8_sum_circuit();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("full_adder_analog_3ns_at_6ps", |b| {
+        b.iter_batched(
+            || {
+                let mut exp = expand(&nl, &tech).expect("expand");
+                for (i, &pi) in nl.inputs().iter().enumerate() {
+                    let wave = if i == 0 {
+                        SourceWave::step(0.0, tech.vdd, 0.5e-9, 50e-12)
+                    } else {
+                        SourceWave::dc(0.0)
+                    };
+                    exp.drive_input(pi, wave);
+                }
+                exp
+            },
+            |exp| {
+                transient_with_options(
+                    &exp.circuit,
+                    &TranParams::new(6e-12, 3.5e-9),
+                    &SimOptions::new(),
+                )
+                .expect("tran")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Kernels of the analog substrate: LU factorization, operating point,
+//! transient integration (including the backward-Euler vs trapezoidal
+//! ablation called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use obd_linalg::{solve_refined, Matrix};
+use obd_spice::analysis::op::operating_point;
+use obd_spice::analysis::tran::{transient_with_options, TranParams};
+use obd_spice::devices::{Capacitor, Resistor, SourceWave, Vsource};
+use obd_spice::{Circuit, SimOptions};
+
+fn lu_matrix(n: usize) -> (Matrix, Vec<f64>) {
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            if r == c {
+                m[(r, c)] = 4.0 + (r % 3) as f64;
+            } else {
+                m[(r, c)] = 1.0 / (1.0 + (r as f64 - c as f64).abs());
+            }
+        }
+    }
+    let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+    (m, b)
+}
+
+fn rc_ladder(stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    ckt.add_vsource(Vsource::new(
+        "V1",
+        vin,
+        Circuit::GROUND,
+        SourceWave::step(0.0, 1.0, 1e-9, 50e-12),
+    ));
+    let mut prev = vin;
+    for i in 0..stages {
+        let n = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(Resistor::new(&format!("R{i}"), prev, n, 1e3));
+        ckt.add_capacitor(Capacitor::new(&format!("C{i}"), n, Circuit::GROUND, 0.2e-12));
+        prev = n;
+    }
+    ckt
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    for n in [8usize, 32, 64] {
+        let (m, b) = lu_matrix(n);
+        group.bench_function(format!("solve_refined_{n}x{n}"), |bench| {
+            bench.iter(|| solve_refined(&m, &b).expect("nonsingular"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice_op");
+    let bench5 = obd_core::characterize::Fig5Bench::new();
+    let tech = obd_cmos::TechParams::date05();
+    group.bench_function("fig5_bench_operating_point", |b| {
+        b.iter_batched(
+            || {
+                let mut exp = obd_cmos::expand::expand(&bench5.netlist, &tech).expect("expand");
+                exp.drive_input(bench5.pis[0], SourceWave::dc(0.0));
+                exp.drive_input(bench5.pis[1], SourceWave::dc(tech.vdd));
+                exp
+            },
+            |exp| operating_point(&exp.circuit, &SimOptions::new()).expect("op"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice_tran");
+    group.sample_size(20);
+    let ckt = rc_ladder(10);
+    group.bench_function("rc10_trapezoidal_5ns_at_10ps", |b| {
+        b.iter(|| {
+            transient_with_options(&ckt, &TranParams::new(10e-12, 5e-9), &SimOptions::new())
+                .expect("tran")
+        })
+    });
+    group.bench_function("rc10_backward_euler_5ns_at_10ps", |b| {
+        b.iter(|| {
+            transient_with_options(
+                &ckt,
+                &TranParams::new(10e-12, 5e-9).with_backward_euler(),
+                &SimOptions::new(),
+            )
+            .expect("tran")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu, bench_op, bench_transient);
+criterion_main!(benches);

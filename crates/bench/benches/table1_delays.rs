@@ -1,0 +1,69 @@
+//! E2 — Table 1 regeneration benchmark: prints the regenerated table once
+//! (the artifact), then times the underlying single-transition
+//! measurement for the fault-free and defective NAND.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obd_bench::quick_bench_config;
+use obd_cmos::TechParams;
+use obd_core::characterize::{measure_transition, BenchDefect};
+use obd_core::faultmodel::Polarity;
+use obd_core::BreakdownStage;
+
+fn print_artifact() {
+    let tech = TechParams::date05();
+    match obd_bench::experiments::table1::run(&tech, &quick_bench_config()) {
+        Ok(table) => println!("\n{}", table.render()),
+        Err(e) => eprintln!("table1 artifact failed: {e}"),
+    }
+}
+
+fn bench_measurements(c: &mut Criterion) {
+    print_artifact();
+    let tech = TechParams::date05();
+    let cfg = quick_bench_config();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("fault_free_fall", |b| {
+        b.iter(|| {
+            measure_transition(&tech, None, [false, true], [true, true], &cfg).expect("measure")
+        })
+    });
+    let nmos = BreakdownStage::Mbd2.params(Polarity::Nmos).expect("ladder");
+    group.bench_function("nmos_mbd2_fall", |b| {
+        b.iter(|| {
+            measure_transition(
+                &tech,
+                Some(BenchDefect {
+                    pin: 0,
+                    polarity: Polarity::Nmos,
+                    params: nmos,
+                }),
+                [false, true],
+                [true, true],
+                &cfg,
+            )
+            .expect("measure")
+        })
+    });
+    let pmos = BreakdownStage::Mbd2.params(Polarity::Pmos).expect("ladder");
+    group.bench_function("pmos_mbd2_rise", |b| {
+        b.iter(|| {
+            measure_transition(
+                &tech,
+                Some(BenchDefect {
+                    pin: 0,
+                    polarity: Polarity::Pmos,
+                    params: pmos,
+                }),
+                [true, true],
+                [false, true],
+                &cfg,
+            )
+            .expect("measure")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measurements);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! E11 — §5: intra-gate EM test conditions versus OBD conditions.
+//!
+//! The paper observes the EM test inputs for a NAND look identical to the
+//! OBD ones, yet "due to the current injecting nature of OBD defects,
+//! this may not always be true, especially for complex gates". This
+//! experiment quantifies the divergence: per cell, the fraction of
+//! EM-exciting sequences that fail to excite the co-located OBD defect.
+
+use obd_cmos::cell::Cell;
+use obd_cmos::switch::{all_transistors, NetworkSide};
+use obd_core::em::compare_excitation;
+use obd_core::excitation::format_pair;
+
+/// Divergence data for one cell.
+#[derive(Debug, Clone)]
+pub struct EmDivergence {
+    /// Cell name.
+    pub cell: String,
+    /// Total (transistor, sequence) EM excitation incidences.
+    pub em_incidences: usize,
+    /// Of those, how many also excite OBD.
+    pub shared: usize,
+    /// Per-transistor sequences that are EM-only, rendered.
+    pub em_only: Vec<(String, Vec<String>)>,
+}
+
+impl EmDivergence {
+    /// Fraction of EM-exciting sequences that do NOT excite OBD.
+    pub fn divergence(&self) -> f64 {
+        if self.em_incidences == 0 {
+            0.0
+        } else {
+            1.0 - self.shared as f64 / self.em_incidences as f64
+        }
+    }
+}
+
+/// Analyzes one cell.
+pub fn analyze(cell: &Cell) -> EmDivergence {
+    let mut em_incidences = 0;
+    let mut shared = 0;
+    let mut em_only = Vec::new();
+    for t in all_transistors(cell) {
+        let cmp = compare_excitation(cell, t);
+        em_incidences += cmp.both.len() + cmp.em_only.len();
+        shared += cmp.both.len();
+        if !cmp.em_only.is_empty() {
+            let side = match t.side {
+                NetworkSide::Pulldown => "NMOS",
+                NetworkSide::Pullup => "PMOS",
+            };
+            em_only.push((
+                format!("{side} pin{}", t.pin(cell)),
+                cmp.em_only.iter().map(format_pair).collect(),
+            ));
+        }
+    }
+    EmDivergence {
+        cell: cell.name.clone(),
+        em_incidences,
+        shared,
+        em_only,
+    }
+}
+
+/// Runs the contrast over simple and complex cells.
+pub fn run() -> Vec<EmDivergence> {
+    vec![
+        analyze(&Cell::inverter()),
+        analyze(&Cell::nand(2)),
+        analyze(&Cell::nand(3)),
+        analyze(&Cell::nor(2)),
+        analyze(&Cell::aoi21()),
+        analyze(&Cell::aoi22()),
+        analyze(&Cell::oai21()),
+    ]
+}
+
+/// Renders the divergence table.
+pub fn render(rows: &[EmDivergence]) -> String {
+    let mut s = String::from("cell     EM incidences  shared w/ OBD  EM-only fraction\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:>12}  {:>12}  {:>14.1}%\n",
+            r.cell,
+            r.em_incidences,
+            r.shared,
+            100.0 * r.divergence()
+        ));
+    }
+    s.push_str("\nEM-only sequences (would test EM but miss the OBD defect):\n");
+    for r in rows {
+        for (t, seqs) in &r.em_only {
+            s.push_str(&format!("  {} {}: {}\n", r.cell, t, seqs.join(" ")));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_has_no_divergence() {
+        let r = analyze(&Cell::inverter());
+        assert_eq!(r.divergence(), 0.0);
+    }
+
+    #[test]
+    fn parallel_structures_diverge() {
+        let nand = analyze(&Cell::nand(2));
+        assert!(nand.divergence() > 0.0, "NAND PMOS bank must diverge");
+        // Wider gates diverge more (more parallel-masking patterns).
+        let nand3 = analyze(&Cell::nand(3));
+        assert!(nand3.divergence() > nand.divergence());
+    }
+
+    #[test]
+    fn complex_gates_diverge_most() {
+        let rows = run();
+        let inv = rows.iter().find(|r| r.cell == "INV").unwrap();
+        let aoi = rows.iter().find(|r| r.cell == "AOI22").unwrap();
+        assert!(aoi.divergence() > inv.divergence());
+        let text = render(&rows);
+        assert!(text.contains("EM-only"), "{text}");
+    }
+}

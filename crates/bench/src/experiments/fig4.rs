@@ -1,0 +1,132 @@
+//! E1 — Fig. 4: inverter voltage-transfer characteristics under NMOS OBD
+//! at each breakdown stage.
+
+use obd_cmos::TechParams;
+use obd_core::characterize::inverter_vtc;
+use obd_core::faultmodel::Polarity;
+use obd_core::{BreakdownStage, ObdError};
+
+/// One VTC curve.
+#[derive(Debug, Clone)]
+pub struct VtcCurve {
+    /// Stage label.
+    pub stage: BreakdownStage,
+    /// `(vin, vout)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl VtcCurve {
+    /// Output level at the maximum input (the VOL of the defective
+    /// inverter for NMOS defects).
+    pub fn vol(&self) -> f64 {
+        self.points.last().map(|&(_, v)| v).unwrap_or(f64::NAN)
+    }
+
+    /// Output level at zero input (VOH).
+    pub fn voh(&self) -> f64 {
+        self.points.first().map(|&(_, v)| v).unwrap_or(f64::NAN)
+    }
+}
+
+/// The Fig. 4 family: fault-free, SBD, MBD and HBD curves.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(tech: &TechParams, polarity: Polarity, points: usize) -> Result<Vec<VtcCurve>, ObdError> {
+    let stages = match polarity {
+        Polarity::Nmos => vec![
+            BreakdownStage::FaultFree,
+            BreakdownStage::Sbd,
+            BreakdownStage::Mbd2,
+            BreakdownStage::Hbd,
+        ],
+        // PMOS has no HBD row in the ladder.
+        Polarity::Pmos => vec![
+            BreakdownStage::FaultFree,
+            BreakdownStage::Sbd,
+            BreakdownStage::Mbd2,
+            BreakdownStage::Mbd3,
+        ],
+    };
+    stages
+        .into_iter()
+        .map(|stage| {
+            Ok(VtcCurve {
+                stage,
+                points: inverter_vtc(tech, polarity, stage, points)?,
+            })
+        })
+        .collect()
+}
+
+/// Renders the curves as CSV (`vin, <stage columns…>`).
+pub fn to_csv(curves: &[VtcCurve]) -> String {
+    let mut s = String::from("vin");
+    for c in curves {
+        s.push_str(&format!(",{}", c.stage));
+    }
+    s.push('\n');
+    if curves.is_empty() {
+        return s;
+    }
+    for i in 0..curves[0].points.len() {
+        s.push_str(&format!("{:.4}", curves[0].points[i].0));
+        for c in curves {
+            s.push_str(&format!(",{:.4}", c.points[i].1));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// The headline numbers: VOL per stage (for NMOS defects).
+pub fn summary(curves: &[VtcCurve]) -> String {
+    let mut s = String::from("stage      VOH(V)   VOL(V)\n");
+    for c in curves {
+        s.push_str(&format!("{:<10} {:.3}    {:.3}\n", c.stage.to_string(), c.voh(), c.vol()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vol_shift_is_monotone_in_stage() {
+        let tech = TechParams::date05();
+        let curves = run(&tech, Polarity::Nmos, 9).unwrap();
+        assert_eq!(curves.len(), 4);
+        let vols: Vec<f64> = curves.iter().map(VtcCurve::vol).collect();
+        for w in vols.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "VOL must rise: {vols:?}");
+        }
+        assert!(vols[3] > vols[0] + 0.2, "HBD shift must be visible: {vols:?}");
+        // VOH stays essentially intact for NMOS defects.
+        for c in &curves {
+            assert!(c.voh() > 0.9 * tech.vdd);
+        }
+    }
+
+    #[test]
+    fn pmos_defect_degrades_voh() {
+        let tech = TechParams::date05();
+        let curves = run(&tech, Polarity::Pmos, 9).unwrap();
+        let vohs: Vec<f64> = curves.iter().map(VtcCurve::voh).collect();
+        assert!(
+            vohs.last().unwrap() < &(vohs[0] - 0.05),
+            "PMOS breakdown must drag VOH down: {vohs:?}"
+        );
+    }
+
+    #[test]
+    fn csv_renders_all_columns() {
+        let tech = TechParams::date05();
+        let curves = run(&tech, Polarity::Nmos, 5).unwrap();
+        let csv = to_csv(&curves);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header.split(',').count(), 5);
+        assert_eq!(csv.lines().count(), 6);
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment implementations, one per paper artifact.
+
+pub mod bist_eval;
+pub mod clock_sweep;
+pub mod em_contrast;
+pub mod excitation;
+pub mod fig4;
+pub mod iddq;
+pub mod fig9;
+pub mod scaling;
+pub mod scan_eval;
+pub mod stats;
+pub mod table1;
+pub mod tpg_compare;
+pub mod variation;
+pub mod waveforms;
+pub mod window;

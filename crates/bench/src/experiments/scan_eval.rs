@@ -1,0 +1,107 @@
+//! Extension experiment — launch-on-shift scan delivery and OBD-aware
+//! chain ordering (§5's DFT direction).
+
+use obd_atpg::scan::{best_chain_order, los_coverage, ScanChain};
+use obd_atpg::AtpgError;
+use obd_core::BreakdownStage;
+use obd_logic::netlist::Netlist;
+
+/// LOS coverage report for one circuit.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Circuit label.
+    pub circuit: String,
+    /// Coverage through the natural chain order.
+    pub natural: (usize, usize),
+    /// Best chain order found and its coverage.
+    pub best_order: Vec<usize>,
+    /// Coverage through the best chain.
+    pub best: (usize, usize),
+}
+
+/// Evaluates one circuit.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(nl: &Netlist, label: &str) -> Result<ScanReport, AtpgError> {
+    let stage = BreakdownStage::Mbd2;
+    let natural = los_coverage(nl, &ScanChain::natural(nl.inputs().len()), stage)?;
+    let (chain, det, testable) = best_chain_order(nl, stage)?;
+    // Extract the order through deliverability probing (the chain does
+    // not expose its internals; reconstruct from los_capture).
+    let mut order = Vec::new();
+    {
+        // Identify chain[0]: the position that takes the scan-in bit.
+        let n = nl.inputs().len();
+        let v1 = vec![obd_logic::value::Lv::Zero; n];
+        let v2 = chain.los_capture(&v1, true);
+        let first = v2
+            .iter()
+            .position(|&v| v == obd_logic::value::Lv::One)
+            .unwrap_or(0);
+        order.push(first);
+        // Successors: shifting a single 1 through reveals the order.
+        let mut current = first;
+        for _ in 1..n {
+            let mut probe = vec![obd_logic::value::Lv::Zero; n];
+            probe[current] = obd_logic::value::Lv::One;
+            let shifted = chain.los_capture(&probe, false);
+            if let Some(next) = shifted
+                .iter()
+                .position(|&v| v == obd_logic::value::Lv::One)
+            {
+                order.push(next);
+                current = next;
+            } else {
+                break;
+            }
+        }
+    }
+    Ok(ScanReport {
+        circuit: label.to_string(),
+        natural,
+        best_order: order,
+        best: (det, testable),
+    })
+}
+
+/// Renders the reports.
+pub fn render(reports: &[ScanReport]) -> String {
+    let mut s = String::from(
+        "circuit    natural-chain LOS   best-chain LOS   best order\n",
+    );
+    for r in reports {
+        s.push_str(&format!(
+            "{:<10} {:>8}/{:<8}   {:>8}/{:<8}   {:?}\n",
+            r.circuit, r.natural.0, r.natural.1, r.best.0, r.best.1, r.best_order
+        ));
+    }
+    s.push_str(
+        "\n(unconstrained two-pattern delivery reaches the full testable count;\n LOS loses the pairs whose capture frame is not a shift of the launch frame)\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obd_logic::circuits::fig8_sum_circuit;
+
+    #[test]
+    fn natural_chain_loses_best_chain_recovers() {
+        let nl = fig8_sum_circuit();
+        let r = run(&nl, "fig8").unwrap();
+        // The naive stitch order misses at least one fault…
+        assert!(
+            r.natural.0 < r.natural.1,
+            "natural chain should lose coverage: {:?}",
+            r.natural
+        );
+        // …and OBD-aware chain ordering recovers it entirely.
+        assert_eq!(r.best.0, r.best.1, "best chain recovers full coverage");
+        assert_eq!(r.best_order.len(), 3);
+        let text = render(&[r]);
+        assert!(text.contains("fig8"));
+    }
+}

@@ -1,0 +1,87 @@
+//! E10 — §4.2: detection windows versus detection slack, under the
+//! exponential progression law.
+
+use obd_core::characterize::DelayTable;
+use obd_core::faultmodel::Polarity;
+use obd_core::progression::ProgressionModel;
+use obd_core::window::{window_vs_slack, DetectionWindow};
+
+/// One sweep row.
+#[derive(Debug, Clone)]
+pub struct WindowRow {
+    /// Detection slack (ps).
+    pub slack_ps: f64,
+    /// NMOS defect window (hours after SBD).
+    pub nmos: Option<DetectionWindow>,
+    /// PMOS defect window.
+    pub pmos: Option<DetectionWindow>,
+}
+
+/// Sweeps slack values for both polarities on the reference 27 h
+/// progression.
+pub fn run(table: &DelayTable, slacks_ps: &[f64]) -> Vec<WindowRow> {
+    let prog_n = ProgressionModel::reference(Polarity::Nmos);
+    let prog_p = ProgressionModel::reference(Polarity::Pmos);
+    let n = window_vs_slack(table, &prog_n, Polarity::Nmos, slacks_ps);
+    let p = window_vs_slack(table, &prog_p, Polarity::Pmos, slacks_ps);
+    n.into_iter()
+        .zip(p)
+        .map(|((s, wn), (_, wp))| WindowRow {
+            slack_ps: s,
+            nmos: wn,
+            pmos: wp,
+        })
+        .collect()
+}
+
+/// Renders the sweep with recommended test intervals (4 opportunities per
+/// window).
+pub fn render(rows: &[WindowRow]) -> String {
+    let fmt = |w: &Option<DetectionWindow>| -> String {
+        match w {
+            Some(w) => format!(
+                "[{:5.1}h, {:5.1}h] len {:5.1}h test-every {:4.1}h",
+                w.opens_hours,
+                w.closes_hours,
+                w.length_hours(),
+                w.test_interval_hours(4)
+            ),
+            None => "never detectable as delay".to_string(),
+        }
+    };
+    let mut s =
+        String::from("slack(ps)  NMOS window                                    PMOS window\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:>8.0}   {:<46} {}\n",
+            r.slack_ps,
+            fmt(&r.nmos),
+            fmt(&r.pmos)
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_shrink_with_slack() {
+        let rows = run(&DelayTable::paper(), &[5.0, 25.0, 100.0, 250.0]);
+        assert_eq!(rows.len(), 4);
+        let mut last = f64::INFINITY;
+        for r in &rows {
+            let len = r.nmos.as_ref().map(|w| w.length_hours()).unwrap_or(0.0);
+            assert!(len <= last + 1e-9);
+            last = len;
+        }
+    }
+
+    #[test]
+    fn render_mentions_intervals() {
+        let rows = run(&DelayTable::paper(), &[10.0]);
+        let text = render(&rows);
+        assert!(text.contains("test-every"), "{text}");
+    }
+}

@@ -1,0 +1,40 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cell construction and netlist expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmosError {
+    /// The input count disagrees with the cell's pin count.
+    PinCountMismatch {
+        /// Cell name.
+        cell: String,
+        /// Number of pins the cell has.
+        expected: usize,
+        /// Number supplied.
+        found: usize,
+    },
+    /// A gate kind has no transistor-level implementation and cannot be
+    /// decomposed.
+    Unsupported {
+        /// Description of the unsupported construct.
+        what: String,
+    },
+    /// A referenced transistor/gate/pin does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for CmosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmosError::PinCountMismatch {
+                cell,
+                expected,
+                found,
+            } => write!(f, "cell '{cell}' has {expected} pins, got {found} inputs"),
+            CmosError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            CmosError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl Error for CmosError {}

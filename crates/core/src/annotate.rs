@@ -1,0 +1,172 @@
+//! Bridging the analog characterization into the gate-level timing
+//! simulator: build a [`DelayModel`] whose per-kind delays come from the
+//! Fig. 5 measurements, and inject an OBD defect as a per-gate delay
+//! override — the abstraction stack the paper proposes (circuit-level
+//! model feeding gate-level test tooling).
+
+use obd_logic::netlist::{GateKind, Netlist};
+use obd_logic::timing::DelayModel;
+
+use crate::characterize::DelayTable;
+use crate::faultmodel::ObdFault;
+use crate::ObdError;
+
+/// Ratio of a (loaded) inverter's delay to the NAND's in the calibrated
+/// technology; used to scale per-kind defaults from the NAND baseline
+/// without re-running the analog bench for every cell kind.
+const INV_TO_NAND_RATIO: f64 = 0.8;
+
+/// Builds a gate-level delay model from a characterized [`DelayTable`]:
+/// NAND gates get the measured fault-free rise/fall; inverters a scaled
+/// version; everything else the NAND numbers (conservative).
+pub fn delay_model_from_table(table: &DelayTable) -> DelayModel {
+    let mut model = DelayModel::uniform(table.base_rise_ps, table.base_fall_ps);
+    model.set_kind(GateKind::Nand, table.base_rise_ps, table.base_fall_ps);
+    model.set_kind(
+        GateKind::Inv,
+        table.base_rise_ps * INV_TO_NAND_RATIO,
+        table.base_fall_ps * INV_TO_NAND_RATIO,
+    );
+    model.set_kind(
+        GateKind::Buf,
+        table.base_rise_ps * 2.0 * INV_TO_NAND_RATIO,
+        table.base_fall_ps * 2.0 * INV_TO_NAND_RATIO,
+    );
+    model
+}
+
+/// Adds the stage's extra delay to the faulty gate in the model —
+/// NMOS defects slow the gate's falling output, PMOS its rising output.
+///
+/// # Errors
+///
+/// [`ObdError::BadSite`] when the fault's stage behaves as stuck (no
+/// finite delay exists; model it at the logic level instead).
+pub fn annotate_fault(
+    model: &mut DelayModel,
+    nl: &Netlist,
+    fault: &ObdFault,
+    table: &DelayTable,
+) -> Result<(), ObdError> {
+    let extra = table
+        .extra_delay_ps(fault.polarity, fault.stage)
+        .ok_or_else(|| {
+            ObdError::BadSite(format!(
+                "{} at {} is stuck, not a finite delay",
+                fault.polarity, fault.stage
+            ))
+        })?;
+    let (extra_rise, extra_fall) = match fault.polarity {
+        crate::faultmodel::Polarity::Nmos => (0.0, extra),
+        crate::faultmodel::Polarity::Pmos => (extra, 0.0),
+    };
+    model.add_gate_delay(nl, fault.gate, extra_rise, extra_fall);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultmodel::Polarity;
+    use crate::BreakdownStage;
+    use obd_logic::circuits::fig8_sum_circuit;
+    use obd_logic::timing::{timing_simulate, InputEvent};
+    use obd_logic::value::Lv;
+
+    #[test]
+    fn model_uses_table_baselines() {
+        let table = DelayTable::paper();
+        let model = delay_model_from_table(&table);
+        let nl = fig8_sum_circuit();
+        let nand = nl.driver(nl.find_net("gm").unwrap()).unwrap();
+        assert_eq!(model.delays(&nl, nand), (110.0, 96.0));
+        let inv = nl.driver(nl.find_net("xt").unwrap()).unwrap();
+        let (r, f) = model.delays(&nl, inv);
+        assert!(r < 110.0 && f < 96.0);
+    }
+
+    #[test]
+    fn annotation_slows_only_the_relevant_edge() {
+        let table = DelayTable::paper();
+        let nl = fig8_sum_circuit();
+        let mut model = delay_model_from_table(&table);
+        let gate = nl.driver(nl.find_net("g6").unwrap()).unwrap();
+        let fault = ObdFault {
+            gate,
+            pin: 0,
+            polarity: Polarity::Pmos,
+            stage: BreakdownStage::Mbd2,
+        };
+        let (r0, f0) = model.delays(&nl, gate);
+        annotate_fault(&mut model, &nl, &fault, &table).unwrap();
+        let (r1, f1) = model.delays(&nl, gate);
+        assert!(r1 > r0 + 600.0, "PMOS MBD2 adds ~628 ps to the rise");
+        assert_eq!(f1, f0);
+    }
+
+    #[test]
+    fn stuck_stage_rejected() {
+        let table = DelayTable::paper();
+        let nl = fig8_sum_circuit();
+        let mut model = delay_model_from_table(&table);
+        let gate = nl.driver(nl.find_net("g6").unwrap()).unwrap();
+        let fault = ObdFault {
+            gate,
+            pin: 0,
+            polarity: Polarity::Nmos,
+            stage: BreakdownStage::Hbd,
+        };
+        assert!(annotate_fault(&mut model, &nl, &fault, &table).is_err());
+    }
+
+    /// The gate-level analogue of Fig. 9: an annotated mid-cone defect
+    /// delays the sum output by exactly its extra delay when it lies on
+    /// the active path.
+    #[test]
+    fn gate_level_fig9_shows_delayed_sum() {
+        let table = DelayTable::paper();
+        let nl = fig8_sum_circuit();
+        let gate = nl.driver(nl.find_net("g6").unwrap()).unwrap();
+        let fault = ObdFault {
+            gate,
+            pin: 0,
+            polarity: Polarity::Pmos,
+            stage: BreakdownStage::Mbd2,
+        };
+        // Excite: gmp falls while c4 stays 1 -> X rises with C=1:
+        // (A,B,C) = (1,1,1) -> (0,1,1) flips X from 0 to 1.
+        let initial = vec![Lv::One, Lv::One, Lv::One];
+        let events = vec![InputEvent {
+            net: nl.inputs()[0],
+            time_ps: 0.0,
+            value: Lv::Zero,
+        }];
+        let s = nl.outputs()[0];
+
+        let clean_model = delay_model_from_table(&table);
+        let clean = timing_simulate(&nl, &clean_model, &initial, &events).unwrap();
+        let t_clean = clean
+            .wave(s)
+            .last_transition()
+            .expect("sum must switch");
+
+        let mut faulty_model = delay_model_from_table(&table);
+        annotate_fault(&mut faulty_model, &nl, &fault, &table).unwrap();
+        let faulty = timing_simulate(&nl, &faulty_model, &initial, &events).unwrap();
+        let t_faulty = faulty
+            .wave(s)
+            .last_transition()
+            .expect("sum still switches, later");
+
+        let extra = table
+            .extra_delay_ps(Polarity::Pmos, BreakdownStage::Mbd2)
+            .unwrap();
+        assert!(
+            (t_faulty - t_clean - extra).abs() < 1.0,
+            "sum delayed by {} ps, expected {extra} ps",
+            t_faulty - t_clean
+        );
+        // Final values agree: the delayed transition still completes.
+        assert_eq!(clean.wave(s).final_value(), faulty.wave(s).final_value());
+    }
+}

@@ -1,0 +1,267 @@
+//! Analog characterization of *complex* cells (AOI/OAI) — the case §5
+//! singles out: "due to the current injecting nature of OBD defects …
+//! especially for complex gates … there is a need to use the circuit
+//! models for OBD defects in order to generate test input conditions".
+//!
+//! The bench mirrors Fig. 5 for an arbitrary [`Cell`]: every input is
+//! driven by a two-inverter chain from a PWL source and the output is
+//! loaded by an inverter, all built directly from cells (no gate-level
+//! netlist, since AOI kinds have no gate-level primitive).
+
+use obd_cmos::cell::Cell;
+use obd_cmos::expand::{attach_wire_load, instantiate_cell};
+use obd_cmos::switch::CellTransistor;
+use obd_cmos::TechParams;
+use obd_logic::netlist::{GateKind, Netlist};
+use obd_spice::analysis::tran::{transient_with_options, TranParams};
+use obd_spice::devices::{MosPolarity, SourceWave, Vsource};
+use obd_spice::{Circuit, EdgeKind, NodeId, SimOptions};
+
+use crate::characterize::{BenchConfig, TransitionOutcome};
+use crate::injection::inject_obd;
+use crate::stage::ObdParams;
+use crate::ObdError;
+
+/// A built complex-cell bench ready for transient runs.
+struct CellBench {
+    circuit: Circuit,
+    pi_nodes: Vec<NodeId>,
+    dut_inputs: Vec<NodeId>,
+    output: NodeId,
+    dut_devices: Vec<obd_cmos::TransistorRef>,
+}
+
+fn placeholder_gate() -> obd_logic::GateId {
+    // `TransistorRef` carries a gate-level id for provenance; a one-gate
+    // dummy netlist mints a stable placeholder for cell-only benches.
+    let mut dummy = Netlist::new();
+    let a = dummy.add_input("a");
+    dummy
+        .add_gate(GateKind::Inv, "ph", &[a])
+        .expect("fresh name");
+    dummy.gate_id(0)
+}
+
+fn build_bench(tech: &TechParams, cell: &Cell) -> CellBench {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource(Vsource::new(
+        "VDD",
+        vdd,
+        Circuit::GROUND,
+        SourceWave::dc(tech.vdd),
+    ));
+    let ph = placeholder_gate();
+    let inv = Cell::inverter();
+
+    let mut pi_nodes = Vec::new();
+    let mut dut_inputs = Vec::new();
+    for pin in 0..cell.num_inputs {
+        let pi = ckt.node(&format!("pi{pin}"));
+        let mid = ckt.node(&format!("drv{pin}_mid"));
+        let din = ckt.node(&format!("din{pin}"));
+        instantiate_cell(&mut ckt, tech, &inv, ph, &[pi], mid, vdd, &format!("d{pin}a"));
+        instantiate_cell(&mut ckt, tech, &inv, ph, &[mid], din, vdd, &format!("d{pin}b"));
+        attach_wire_load(&mut ckt, tech, mid);
+        attach_wire_load(&mut ckt, tech, din);
+        pi_nodes.push(pi);
+        dut_inputs.push(din);
+    }
+    let out = ckt.node("dut_out");
+    let dut_devices = instantiate_cell(&mut ckt, tech, cell, ph, &dut_inputs, out, vdd, "dut");
+    attach_wire_load(&mut ckt, tech, out);
+    let load_out = ckt.node("load_out");
+    instantiate_cell(&mut ckt, tech, &inv, ph, &[out], load_out, vdd, "ld");
+    attach_wire_load(&mut ckt, tech, load_out);
+    CellBench {
+        circuit: ckt,
+        pi_nodes,
+        dut_inputs,
+        output: out,
+        dut_devices,
+    }
+}
+
+/// Measures the output transition delay of an arbitrary cell under an
+/// optional OBD defect at one of its transistors.
+///
+/// The reference edge is the first switching DUT input crossing 50 %;
+/// the measured edge is the output's logically expected transition.
+///
+/// # Errors
+///
+/// Propagates simulation errors; [`ObdError::BadSite`] if nothing
+/// switches or the output does not change.
+pub fn measure_cell(
+    tech: &TechParams,
+    cell: &Cell,
+    defect: Option<(CellTransistor, ObdParams)>,
+    v1: &[bool],
+    v2: &[bool],
+    cfg: &BenchConfig,
+) -> Result<TransitionOutcome, ObdError> {
+    assert_eq!(v1.len(), cell.num_inputs);
+    assert_eq!(v2.len(), cell.num_inputs);
+    let mut bench = build_bench(tech, cell);
+    if let Some((t, params)) = defect {
+        let polarity = match t.side {
+            obd_cmos::switch::NetworkSide::Pulldown => MosPolarity::Nmos,
+            obd_cmos::switch::NetworkSide::Pullup => MosPolarity::Pmos,
+        };
+        let device = bench
+            .dut_devices
+            .iter()
+            .find(|r| r.polarity == polarity && r.leaf == t.leaf)
+            .ok_or_else(|| ObdError::BadSite(format!("no transistor for {t:?}")))?
+            .device;
+        inject_obd(&mut bench.circuit, device, params, "cplx")?;
+    }
+    let ps = 1e-12;
+    for (pin, &pi) in bench.pi_nodes.iter().enumerate() {
+        let lvl = |b: bool| if b { tech.vdd } else { 0.0 };
+        let wave = if v1[pin] == v2[pin] {
+            SourceWave::dc(lvl(v1[pin]))
+        } else {
+            SourceWave::step(lvl(v1[pin]), lvl(v2[pin]), cfg.launch_ps * ps, cfg.edge_ps * ps)
+        };
+        bench.circuit.add_vsource(Vsource::new(
+            &format!("VPI{pin}"),
+            pi,
+            Circuit::GROUND,
+            wave,
+        ));
+    }
+    let switching_pin = (0..cell.num_inputs)
+        .find(|&i| v1[i] != v2[i])
+        .ok_or_else(|| ObdError::BadSite("no input switches".into()))?;
+    let out1 = cell.eval(v1);
+    let out2 = cell.eval(v2);
+    if out1 == out2 {
+        return Err(ObdError::BadSite("output does not switch".into()));
+    }
+    let params = TranParams::new(cfg.step_ps * ps, (cfg.launch_ps + cfg.window_ps) * ps);
+    let wave = transient_with_options(&bench.circuit, &params, &SimOptions::new())?;
+    let half = tech.half_vdd();
+    let in_node = bench.dut_inputs[switching_pin];
+    let in_edge = if v2[switching_pin] {
+        EdgeKind::Rising
+    } else {
+        EdgeKind::Falling
+    };
+    let out_edge = if out2 { EdgeKind::Rising } else { EdgeKind::Falling };
+    let t_start = cfg.launch_ps * ps * 0.5;
+    let outcome = wave.propagation_delay(in_node, in_edge, bench.output, out_edge, half, t_start);
+    Ok(match outcome {
+        Some(d) => {
+            let d_ps = d / ps;
+            match cfg.at_speed_ps {
+                Some(limit) if d_ps > limit => TransitionOutcome::Stuck,
+                _ => TransitionOutcome::Delay(d_ps),
+            }
+        }
+        None => TransitionOutcome::Stuck,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::excitation::excitation_set;
+    use crate::faultmodel::Polarity;
+    use crate::BreakdownStage;
+    use obd_cmos::switch::{excites, NetworkSide};
+
+    fn cfg() -> BenchConfig {
+        BenchConfig {
+            edge_ps: 50.0,
+            launch_ps: 400.0,
+            window_ps: 2200.0,
+            step_ps: 6.0,
+            at_speed_ps: None,
+        }
+    }
+
+    /// Sanity: the generic bench reproduces the NAND2 delays of the
+    /// dedicated Fig. 5 bench to within a few percent.
+    #[test]
+    fn generic_bench_matches_fig5_for_nand2() {
+        let tech = TechParams::date05();
+        let cell = Cell::nand(2);
+        let d = measure_cell(&tech, &cell, None, &[false, true], &[true, true], &cfg())
+            .unwrap()
+            .delay_ps()
+            .unwrap();
+        let reference = crate::characterize::measure_transition(
+            &tech,
+            None,
+            [false, true],
+            [true, true],
+            &cfg(),
+        )
+        .unwrap()
+        .delay_ps()
+        .unwrap();
+        assert!(
+            (d - reference).abs() < 0.12 * reference + 6.0,
+            "generic {d:.0} vs fig5 {reference:.0}"
+        );
+    }
+
+    /// §5 validated on a complex gate: an AOI21 PMOS defect in the
+    /// series leg is excited by rising-output transitions through it,
+    /// and masked when a parallel PMOS path charges the output.
+    #[test]
+    fn aoi21_pmos_obd_matches_structural_prediction() {
+        let tech = TechParams::date05();
+        let cell = Cell::aoi21();
+        // Pull-up of AOI21: Series(Parallel(A,B), C); leaf order A,B,C.
+        let t_a = CellTransistor {
+            side: NetworkSide::Pullup,
+            leaf: 0,
+        };
+        let params = BreakdownStage::Mbd2.params(Polarity::Pmos).unwrap();
+        let set = excitation_set(&cell, t_a);
+        assert!(!set.is_empty());
+        // Take one predicted-exciting and one predicted-masked rising
+        // sequence and verify both in analog.
+        let (e1, e2) = set[0].clone();
+        let base = measure_cell(&tech, &cell, None, &e1, &e2, &cfg())
+            .unwrap()
+            .delay_ps()
+            .unwrap();
+        let excited = measure_cell(&tech, &cell, Some((t_a, params)), &e1, &e2, &cfg()).unwrap();
+        match excited {
+            TransitionOutcome::Delay(d) => {
+                assert!(d > base + 80.0, "excited {d:.0} vs base {base:.0}")
+            }
+            TransitionOutcome::Stuck => {}
+        }
+        // A masked rising sequence: output rises but the defective leaf
+        // is not essential. Find one from the complement.
+        let masked_pair = crate::excitation::all_input_pairs(3)
+            .into_iter()
+            .find(|(v1, v2)| {
+                !cell.eval(v1) && cell.eval(v2) && !excites(&cell, t_a, v1, v2)
+            })
+            .expect("a masked rising sequence exists for AOI21");
+        let base_m = measure_cell(&tech, &cell, None, &masked_pair.0, &masked_pair.1, &cfg())
+            .unwrap()
+            .delay_ps()
+            .unwrap();
+        let masked = measure_cell(
+            &tech,
+            &cell,
+            Some((t_a, params)),
+            &masked_pair.0,
+            &masked_pair.1,
+            &cfg(),
+        )
+        .unwrap()
+        .delay_ps()
+        .expect("masked sequence still switches");
+        assert!(
+            (masked - base_m).abs() < 0.3 * base_m + 30.0,
+            "masked {masked:.0} vs base {base_m:.0}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Intra-gate electromigration (EM) fault model — the §5 contrast case.
+//!
+//! An EM defect at a transistor's source/drain contact adds series
+//! resistance, slowing every transition whose current flows *through* that
+//! transistor. Unlike OBD, the transistor does not have to be the sole
+//! conduction route: a parallel device sharing the load still leaves the
+//! weakened device visibly slow only when it carries current at all, so
+//! the excitation criterion is "on some conducting path" rather than
+//! "on every conducting path".
+//!
+//! The §5 claim reproduced here: for a NAND, the EM test set and the OBD
+//! test set look identical at the input-sequence level, yet the *defect
+//! coverage relation* differs — every OBD-exciting sequence excites the
+//! co-located EM fault, but not vice versa. Current-injecting OBD defects
+//! therefore need the circuit-level model to derive their conditions.
+
+use obd_cmos::cell::Cell;
+use obd_cmos::switch::CellTransistor;
+
+use crate::excitation::{all_input_pairs, InputPair};
+
+/// Whether the transition `(v1, v2)` excites an intra-gate EM fault at
+/// transistor `t`: the output switches, the transistor's network drives
+/// the new value, and the transistor lies on at least one conducting
+/// path.
+pub fn em_excites(cell: &Cell, t: CellTransistor, v1: &[bool], v2: &[bool]) -> bool {
+    let out1 = cell.eval(v1);
+    let out2 = cell.eval(v2);
+    if out1 == out2 {
+        return false;
+    }
+    match t.side {
+        obd_cmos::switch::NetworkSide::Pulldown => {
+            out1 && !out2 && cell.pulldown.on_some_path(t.leaf, &|p| v2[p])
+        }
+        obd_cmos::switch::NetworkSide::Pullup => {
+            !out1 && out2 && cell.pullup.on_some_path(t.leaf, &|p| !v2[p])
+        }
+    }
+}
+
+/// Every input pair exciting the EM fault at `t`.
+pub fn em_excitation_set(cell: &Cell, t: CellTransistor) -> Vec<InputPair> {
+    all_input_pairs(cell.num_inputs)
+        .into_iter()
+        .filter(|(v1, v2)| em_excites(cell, t, v1, v2))
+        .collect()
+}
+
+/// Comparison of the OBD and EM excitation sets for one transistor.
+#[derive(Debug, Clone)]
+pub struct ExcitationComparison {
+    /// Sequences exciting both fault types.
+    pub both: Vec<InputPair>,
+    /// Sequences exciting only the EM fault (parallel-path current that
+    /// masks the OBD delay).
+    pub em_only: Vec<InputPair>,
+    /// Sequences exciting only the OBD fault (cannot happen for
+    /// series-parallel cells; kept for completeness and asserted empty in
+    /// tests).
+    pub obd_only: Vec<InputPair>,
+}
+
+/// Compares the OBD (sole-path) and EM (some-path) excitation sets at one
+/// transistor.
+pub fn compare_excitation(cell: &Cell, t: CellTransistor) -> ExcitationComparison {
+    let obd = crate::excitation::excitation_set(cell, t);
+    let em = em_excitation_set(cell, t);
+    let both = obd.iter().filter(|p| em.contains(p)).cloned().collect();
+    let em_only = em.iter().filter(|p| !obd.contains(p)).cloned().collect();
+    let obd_only = obd.iter().filter(|p| !em.contains(p)).cloned().collect();
+    ExcitationComparison {
+        both,
+        em_only,
+        obd_only,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obd_cmos::switch::{all_transistors, NetworkSide};
+
+    fn pair(a: &str, b: &str) -> InputPair {
+        let p = |s: &str| s.chars().map(|c| c == '1').collect();
+        (p(a), p(b))
+    }
+
+    /// §5: for a NAND, the PMOS EM fault on input A is excited by every
+    /// rising transition in which A's transistor conducts — including
+    /// (11,00), which does NOT excite the OBD fault (parallel masking).
+    #[test]
+    fn nand_pmos_em_is_broader_than_obd() {
+        let cell = Cell::nand(2);
+        let t = CellTransistor {
+            side: NetworkSide::Pullup,
+            leaf: 0,
+        };
+        let cmp = compare_excitation(&cell, t);
+        assert_eq!(cmp.both, vec![pair("11", "01")]);
+        assert!(cmp.em_only.contains(&pair("11", "00")), "{:?}", cmp.em_only);
+        assert!(cmp.obd_only.is_empty());
+    }
+
+    /// OBD excitation implies EM excitation for every transistor of the
+    /// standard cells (sole path ⊆ some path).
+    #[test]
+    fn obd_set_subset_of_em_set() {
+        for cell in [Cell::inverter(), Cell::nand(2), Cell::nand(3), Cell::nor(2), Cell::aoi21()] {
+            for t in all_transistors(&cell) {
+                let cmp = compare_excitation(&cell, t);
+                assert!(
+                    cmp.obd_only.is_empty(),
+                    "{}: transistor {t:?} has OBD-only sequences",
+                    cell.name
+                );
+            }
+        }
+    }
+
+    /// For series devices the two criteria coincide (a series device is on
+    /// every path whenever it is on any).
+    #[test]
+    fn series_devices_have_equal_sets() {
+        let cell = Cell::nand(2);
+        for leaf in 0..2 {
+            let t = CellTransistor {
+                side: NetworkSide::Pulldown,
+                leaf,
+            };
+            let cmp = compare_excitation(&cell, t);
+            assert!(cmp.em_only.is_empty(), "NMOS leaf {leaf}: {:?}", cmp.em_only);
+        }
+    }
+
+    /// The paper's §5 EM test list for a NAND: {(11,01)}, {(11,10)},
+    /// {(01,11),(10,11),(00,11)} — all present in the EM sets.
+    #[test]
+    fn nand_em_sets_contain_paper_sequences() {
+        let cell = Cell::nand(2);
+        let pmos_a = CellTransistor {
+            side: NetworkSide::Pullup,
+            leaf: 0,
+        };
+        assert!(em_excitation_set(&cell, pmos_a).contains(&pair("11", "01")));
+        let nmos_a = CellTransistor {
+            side: NetworkSide::Pulldown,
+            leaf: 0,
+        };
+        let set = em_excitation_set(&cell, nmos_a);
+        for p in [pair("01", "11"), pair("10", "11"), pair("00", "11")] {
+            assert!(set.contains(&p));
+        }
+    }
+}

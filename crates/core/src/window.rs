@@ -1,0 +1,188 @@
+//! Detection-window analysis (§4.2).
+//!
+//! An OBD defect is dangerous once hard breakdown is reached (it can
+//! damage upstream drivers and the supply), so it must be caught while it
+//! is still a delay fault. The *window of opportunity* opens when the
+//! defect's extra delay first exceeds the detection mechanism's timing
+//! slack and closes at hard breakdown. Because leakage grows
+//! exponentially, tightening the slack buys window time only
+//! logarithmically — the paper's argument for early, timing-sensitive
+//! concurrent testing.
+
+use crate::characterize::DelayTable;
+use crate::faultmodel::Polarity;
+use crate::progression::ProgressionModel;
+use crate::stage::BreakdownStage;
+
+/// The computed detection window for one defect polarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionWindow {
+    /// Hours after SBD when the extra delay first exceeds the slack.
+    pub opens_hours: f64,
+    /// Hours after SBD when the defect becomes a stuck/hard fault.
+    pub closes_hours: f64,
+}
+
+impl DetectionWindow {
+    /// Window length in hours.
+    pub fn length_hours(&self) -> f64 {
+        (self.closes_hours - self.opens_hours).max(0.0)
+    }
+
+    /// A test/diagnose interval guaranteeing at least `coverage_tests`
+    /// test opportunities inside the window.
+    pub fn test_interval_hours(&self, coverage_tests: usize) -> f64 {
+        self.length_hours() / coverage_tests.max(1) as f64
+    }
+}
+
+/// Computes the detection window for a defect of the given polarity.
+///
+/// `slack_ps` is the timing slack of the detection mechanism: the extra
+/// delay a defect must cause before the early-capture comparison sees a
+/// wrong value. The window opens at the first ladder stage whose extra
+/// delay exceeds the slack (interpolated in time between stage arrival
+/// times) and closes when the defect becomes stuck (HBD for NMOS, the
+/// MBD3 collapse for PMOS).
+///
+/// Returns `None` if no stage before the terminal one produces enough
+/// delay — the defect would only ever be seen as a hard fault.
+pub fn detection_window(
+    table: &DelayTable,
+    progression: &ProgressionModel,
+    polarity: Polarity,
+    slack_ps: f64,
+) -> Option<DetectionWindow> {
+    // Find the closing time: the first stage that is stuck.
+    let stages = [
+        BreakdownStage::Sbd,
+        BreakdownStage::Mbd1,
+        BreakdownStage::Mbd2,
+        BreakdownStage::Mbd3,
+        BreakdownStage::Hbd,
+    ];
+    let closes = stages
+        .iter()
+        .find(|&&s| table.is_stuck(polarity, s))
+        .and_then(|&s| progression.time_of_stage(s))
+        .unwrap_or(progression.duration_hours);
+
+    // Find the opening time: first stage whose extra delay beats the
+    // slack, linearly interpolated from the previous stage's time.
+    let mut prev_t = 0.0;
+    let mut prev_delay = 0.0;
+    for &s in &stages {
+        let t = match progression.time_of_stage(s) {
+            Some(t) => t,
+            None => continue,
+        };
+        match table.extra_delay_ps(polarity, s) {
+            Some(d) => {
+                if d >= slack_ps {
+                    // Interpolate crossing between (prev_t, prev_delay)
+                    // and (t, d).
+                    let opens = if d > prev_delay {
+                        prev_t + (t - prev_t) * (slack_ps - prev_delay) / (d - prev_delay)
+                    } else {
+                        t
+                    };
+                    let opens = opens.clamp(0.0, closes);
+                    return Some(DetectionWindow {
+                        opens_hours: opens,
+                        closes_hours: closes,
+                    });
+                }
+                prev_t = t;
+                prev_delay = d;
+            }
+            None => {
+                // Stuck stage reached without ever beating the slack as a
+                // delay: the fault jumps straight to hard behavior, which
+                // a functional (not timing) test can still catch at this
+                // point; we treat the window as opening here.
+                return Some(DetectionWindow {
+                    opens_hours: prev_t.min(closes),
+                    closes_hours: closes,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Sweep of window length versus detection slack — the scheduling input
+/// the paper says the diode-resistor model provides.
+pub fn window_vs_slack(
+    table: &DelayTable,
+    progression: &ProgressionModel,
+    polarity: Polarity,
+    slacks_ps: &[f64],
+) -> Vec<(f64, Option<DetectionWindow>)> {
+    slacks_ps
+        .iter()
+        .map(|&s| (s, detection_window(table, progression, polarity, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_slack_opens_window_earlier() {
+        let table = DelayTable::paper();
+        let prog = ProgressionModel::reference(Polarity::Nmos);
+        let tight = detection_window(&table, &prog, Polarity::Nmos, 10.0).unwrap();
+        let loose = detection_window(&table, &prog, Polarity::Nmos, 100.0).unwrap();
+        assert!(tight.opens_hours < loose.opens_hours);
+        assert!(tight.length_hours() > loose.length_hours());
+    }
+
+    #[test]
+    fn window_closes_at_stuck_stage() {
+        let table = DelayTable::paper();
+        let prog = ProgressionModel::reference(Polarity::Nmos);
+        let w = detection_window(&table, &prog, Polarity::Nmos, 10.0).unwrap();
+        let t_hbd = prog.time_of_stage(BreakdownStage::Hbd).unwrap();
+        assert!((w.closes_hours - t_hbd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pmos_window_opens_earlier_due_to_larger_delays() {
+        let table = DelayTable::paper();
+        let prog_n = ProgressionModel::reference(Polarity::Nmos);
+        let prog_p = ProgressionModel::reference(Polarity::Pmos);
+        let wn = detection_window(&table, &prog_n, Polarity::Nmos, 50.0).unwrap();
+        let wp = detection_window(&table, &prog_p, Polarity::Pmos, 50.0).unwrap();
+        // PMOS OBD causes far larger delays (360/736 ps vs 118/156 ps), so
+        // at equal slack its window opens sooner in the progression.
+        assert!(wp.opens_hours < wn.opens_hours);
+        // Both windows close at their terminal (stuck) stage.
+        assert!(wp.closes_hours <= prog_p.duration_hours + 1e-9);
+        assert!(wn.closes_hours <= prog_n.duration_hours + 1e-9);
+    }
+
+    #[test]
+    fn test_interval_divides_window() {
+        let w = DetectionWindow {
+            opens_hours: 5.0,
+            closes_hours: 25.0,
+        };
+        assert!((w.length_hours() - 20.0).abs() < 1e-12);
+        assert!((w.test_interval_hours(4) - 5.0).abs() < 1e-12);
+        assert!((w.test_interval_hours(0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_window_length() {
+        let table = DelayTable::paper();
+        let prog = ProgressionModel::reference(Polarity::Nmos);
+        let rows = window_vs_slack(&table, &prog, Polarity::Nmos, &[5.0, 20.0, 60.0, 110.0]);
+        let mut last = f64::INFINITY;
+        for (s, w) in rows {
+            let len = w.map(|w| w.length_hours()).unwrap_or(0.0);
+            assert!(len <= last + 1e-9, "slack {s}: {len} <= {last}");
+            last = len;
+        }
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dense linear algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (or numerically singular) at the given pivot
+    /// column, so an LU factorization or solve cannot proceed.
+    Singular {
+        /// Column at which no acceptable pivot was found.
+        column: usize,
+    },
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// What was expected, e.g. a row count.
+        expected: usize,
+        /// What was provided.
+        found: usize,
+    },
+    /// A matrix literal had ragged rows.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A non-finite value (NaN or infinity) appeared where finite data is
+    /// required.
+    NonFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "ragged rows: row {row} has {found} entries, expected {expected}"
+            ),
+            LinalgError::NonFinite => write!(f, "non-finite value in input"),
+        }
+    }
+}
+
+impl Error for LinalgError {}

@@ -1,0 +1,31 @@
+//! Dense linear algebra kernel for modified nodal analysis (MNA).
+//!
+//! Circuit matrices arising from the OBD reproduction suite are small
+//! (tens of nodes) but can be very badly scaled: a hard-breakdown path has a
+//! resistance of 0.05 Ω sitting next to 100 kΩ substrate resistors and
+//! pico-farad capacitor companions. This crate therefore provides a dense
+//! LU factorization with partial pivoting plus iterative refinement, which is
+//! robust at these condition numbers without needing sparse machinery.
+//!
+//! # Example
+//!
+//! ```rust
+//! use obd_linalg::{Matrix, solve};
+//!
+//! # fn main() -> Result<(), obd_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let x = solve(&a, &[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod lu;
+mod matrix;
+mod vector;
+
+pub use error::LinalgError;
+pub use lu::{Lu, solve, solve_refined};
+pub use matrix::Matrix;
+pub use vector::{axpy, dot, norm_inf, norm_one, norm_two, scale, sub};

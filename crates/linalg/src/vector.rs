@@ -1,0 +1,90 @@
+//! Small vector helpers used throughout the Newton loops.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Infinity norm (maximum absolute entry); 0 for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+/// One norm (sum of absolute entries).
+pub fn norm_one(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Euclidean norm.
+pub fn norm_two(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(norm_one(&x), 7.0);
+        assert!((norm_two(&x) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn sub_and_scale() {
+        let d = sub(&[5.0, 2.0], &[1.0, 3.0]);
+        assert_eq!(d, vec![4.0, -1.0]);
+        let mut x = vec![2.0, -2.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -1.0]);
+    }
+}

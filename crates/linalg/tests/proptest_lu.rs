@@ -1,0 +1,83 @@
+//! Property-based tests for the LU kernel.
+
+use obd_linalg::{solve_refined, Lu, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned-ish random square matrix built as a
+/// diagonally dominant perturbation, which is guaranteed nonsingular.
+fn diag_dominant(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            let mut rowsum = 0.0;
+            for c in 0..n {
+                if r != c {
+                    m[(r, c)] = vals[r * n + c];
+                    rowsum += vals[r * n + c].abs();
+                }
+            }
+            // Strict diagonal dominance.
+            let d = vals[r * n + r];
+            m[(r, r)] = rowsum + 1.0 + d.abs();
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn solve_residual_is_small(a in diag_dominant(6), b in prop::collection::vec(-10.0f64..10.0, 6)) {
+        let x = solve_refined(&a, &b).unwrap();
+        let ax = a.mul_vec(&x);
+        for (axi, bi) in ax.iter().zip(b.iter()) {
+            prop_assert!((axi - bi).abs() < 1e-9 * (1.0 + bi.abs()));
+        }
+    }
+
+    #[test]
+    fn lu_reconstructs_matrix(a in diag_dominant(5)) {
+        // Solve A x = e_i column by column; the assembled inverse times A
+        // must be the identity.
+        let lu = Lu::factor(&a).unwrap();
+        let n = a.rows();
+        let mut inv = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            let col = lu.solve(&e).unwrap();
+            for r in 0..n {
+                inv[(r, i)] = col[r];
+            }
+        }
+        let prod = a.mul_mat(&inv);
+        for r in 0..n {
+            for c in 0..n {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((prod[(r, c)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_sign_matches_diagonal_product_for_triangular(
+        d in prop::collection::vec(0.5f64..3.0, 4)
+    ) {
+        let n = d.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = d[i];
+        }
+        let lu = Lu::factor(&m).unwrap();
+        let expect: f64 = d.iter().product();
+        prop_assert!((lu.determinant() - expect).abs() < 1e-10 * expect);
+    }
+
+    #[test]
+    fn scaling_rows_scales_determinant(a in diag_dominant(4), s in 0.5f64..2.0) {
+        let lu = Lu::factor(&a).unwrap();
+        let scaled = &a * s;
+        let lu2 = Lu::factor(&scaled).unwrap();
+        let expect = lu.determinant() * s.powi(a.rows() as i32);
+        prop_assert!((lu2.determinant() - expect).abs() < 1e-6 * expect.abs().max(1.0));
+    }
+}

@@ -1,0 +1,544 @@
+//! Stock circuits used across tests, examples and benchmarks.
+//!
+//! The centerpiece is [`fig8_sum_circuit`], a reconstruction of the paper's
+//! Fig. 8: the sum output of a full adder implemented *without optimization*
+//! as 14 NAND2 gates plus 11 inverters with a logic depth of 9, including
+//! intentional redundancy (duplicated subcircuits merged back together)
+//! that renders some OBD faults untestable — exactly the property §4.3 of
+//! the paper studies.
+
+use crate::netlist::{GateKind, NetId, Netlist};
+
+/// Builds a 4-NAND XOR block; returns the output net.
+fn xor_nand4(nl: &mut Netlist, prefix: &str, a: NetId, b: NetId) -> NetId {
+    let g1 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_n1"), &[a, b])
+        .expect("fresh names");
+    let g2 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_n2"), &[a, g1])
+        .expect("fresh names");
+    let g3 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_n3"), &[g1, b])
+        .expect("fresh names");
+    nl.add_gate(GateKind::Nand, &format!("{prefix}_n4"), &[g2, g3])
+        .expect("fresh names")
+}
+
+/// The paper's Fig. 8 circuit: the sum bit `S = A ⊕ B ⊕ C` of a full adder,
+/// built from exactly **14 NAND2 gates and 11 inverters with logic depth
+/// 9**, deliberately unoptimized and redundant.
+///
+/// Redundancy comes from computing `A ⊕ B` twice (once as a 4-NAND block,
+/// once in inverter/sum-of-products form) and merging the copies, and from
+/// a duplicated product term merged at the output stage. Because the
+/// duplicated signals are logically identical, test conditions that require
+/// exactly one of them to switch are unsatisfiable — making several OBD
+/// defects in the merge gates untestable, as §4.3 reports for the original
+/// circuit.
+///
+/// # Example
+///
+/// ```rust
+/// use obd_logic::circuits::fig8_sum_circuit;
+/// use obd_logic::netlist::GateKind;
+///
+/// let nl = fig8_sum_circuit();
+/// assert_eq!(nl.count_kind(GateKind::Nand), 14);
+/// assert_eq!(nl.count_kind(GateKind::Inv), 11);
+/// assert_eq!(nl.max_depth().unwrap(), 9);
+/// ```
+pub fn fig8_sum_circuit() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.add_input("A");
+    let b = nl.add_input("B");
+    let c = nl.add_input("C");
+
+    // X1 = A xor B, 4-NAND form (depth 3).
+    let x1 = xor_nand4(&mut nl, "x1", a, b);
+
+    // X2 = A xor B, SOP form with explicit inverters (depth 3).
+    let ia = nl.add_gate(GateKind::Inv, "ia", &[a]).expect("fresh");
+    let ib = nl.add_gate(GateKind::Inv, "ib", &[b]).expect("fresh");
+    let n1 = nl.add_gate(GateKind::Nand, "n1", &[a, ib]).expect("fresh");
+    let n2 = nl.add_gate(GateKind::Nand, "n2", &[ia, b]).expect("fresh");
+    let x2 = nl.add_gate(GateKind::Nand, "x2", &[n1, n2]).expect("fresh");
+
+    // Redundant merge: gm = gmp = !(X1 AND X2) = !X since X1 == X2.
+    let gm = nl.add_gate(GateKind::Nand, "gm", &[x1, x2]).expect("fresh");
+    let gmp = nl.add_gate(GateKind::Nand, "gmp", &[x1, x2]).expect("fresh");
+    let xt = nl.add_gate(GateKind::Inv, "xt", &[gm]).expect("fresh");
+
+    // Buffered C: c3 = !C (depth 3), c4 = C (depth 4).
+    let c1 = nl.add_gate(GateKind::Inv, "c1", &[c]).expect("fresh");
+    let c2 = nl.add_gate(GateKind::Inv, "c2", &[c1]).expect("fresh");
+    let c3 = nl.add_gate(GateKind::Inv, "c3", &[c2]).expect("fresh");
+    let c4 = nl.add_gate(GateKind::Inv, "c4", &[c3]).expect("fresh");
+
+    // Product terms: g5 = g5p = !(X·!C) (duplicated), g6 = !(!X·C).
+    let g5 = nl.add_gate(GateKind::Nand, "g5", &[xt, c3]).expect("fresh");
+    let g5p = nl.add_gate(GateKind::Nand, "g5p", &[xt, c3]).expect("fresh");
+    let g6 = nl.add_gate(GateKind::Nand, "g6", &[gmp, c4]).expect("fresh");
+
+    let a1 = nl.add_gate(GateKind::Inv, "a1", &[g5]).expect("fresh");
+    let a1p = nl.add_gate(GateKind::Inv, "a1p", &[g5p]).expect("fresh");
+    let a2 = nl.add_gate(GateKind::Inv, "a2", &[g6]).expect("fresh");
+
+    // Redundant merge of the duplicated product term.
+    let b1 = nl.add_gate(GateKind::Nand, "b1", &[a1, a1p]).expect("fresh");
+    let b2 = nl.add_gate(GateKind::Inv, "b2", &[a2]).expect("fresh");
+
+    let s = nl.add_gate(GateKind::Nand, "s", &[b1, b2]).expect("fresh");
+    nl.mark_output(s);
+    nl
+}
+
+/// The optimized reference: `S = A ⊕ B ⊕ C` as two 4-NAND XOR blocks
+/// (8 NAND2, depth 6). Used as the non-redundant baseline.
+pub fn sum_circuit_optimized() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.add_input("A");
+    let b = nl.add_input("B");
+    let c = nl.add_input("C");
+    let x = xor_nand4(&mut nl, "x", a, b);
+    let s = xor_nand4(&mut nl, "s", x, c);
+    nl.mark_output(s);
+    nl
+}
+
+/// A full adder (sum and carry) from nine NAND2 gates.
+///
+/// Returns the netlist with outputs `[sum, cout]`.
+pub fn full_adder_nand9() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.add_input("A");
+    let b = nl.add_input("B");
+    let cin = nl.add_input("Cin");
+    let (s, co) = fa_block(&mut nl, "fa", a, b, cin);
+    nl.mark_output(s);
+    nl.mark_output(co);
+    nl
+}
+
+/// Appends a 9-NAND full adder block; returns `(sum, cout)`.
+pub fn fa_block(nl: &mut Netlist, prefix: &str, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+    let t1 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_t1"), &[a, b])
+        .expect("fresh");
+    let t2 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_t2"), &[a, t1])
+        .expect("fresh");
+    let t3 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_t3"), &[b, t1])
+        .expect("fresh");
+    let x = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_x"), &[t2, t3])
+        .expect("fresh");
+    let t4 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_t4"), &[x, cin])
+        .expect("fresh");
+    let t5 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_t5"), &[x, t4])
+        .expect("fresh");
+    let t6 = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_t6"), &[cin, t4])
+        .expect("fresh");
+    let s = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_s"), &[t5, t6])
+        .expect("fresh");
+    let cout = nl
+        .add_gate(GateKind::Nand, &format!("{prefix}_c"), &[t1, t4])
+        .expect("fresh");
+    (s, cout)
+}
+
+/// An `n`-bit ripple-carry adder built from NAND2-only full adders.
+/// Inputs `a0..a(n-1)`, `b0..b(n-1)`, `cin`; outputs `s0..s(n-1)`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new();
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(&format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(&format!("b{i}"))).collect();
+    let mut carry = nl.add_input("cin");
+    for i in 0..n {
+        let (s, co) = fa_block(&mut nl, &format!("fa{i}"), a[i], b[i], carry);
+        nl.mark_output(s);
+        carry = co;
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// An `n`-input parity (XOR) tree built from 4-NAND XOR blocks.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn parity_tree(n: usize) -> Netlist {
+    assert!(n >= 2, "parity tree needs at least 2 inputs");
+    let mut nl = Netlist::new();
+    let mut layer: Vec<NetId> = (0..n).map(|i| nl.add_input(&format!("p{i}"))).collect();
+    let mut stage = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        let mut k = 0;
+        while k + 1 < layer.len() {
+            let out = xor_nand4(
+                &mut nl,
+                &format!("xor_s{stage}_{k}"),
+                layer[k],
+                layer[k + 1],
+            );
+            next.push(out);
+            k += 2;
+        }
+        if k < layer.len() {
+            next.push(layer[k]);
+        }
+        layer = next;
+        stage += 1;
+    }
+    nl.mark_output(layer[0]);
+    nl
+}
+
+/// The ISCAS-85 `c17` benchmark: six NAND2 gates, five inputs, two
+/// outputs.
+pub fn c17() -> Netlist {
+    let mut nl = Netlist::new();
+    let i1 = nl.add_input("1");
+    let i2 = nl.add_input("2");
+    let i3 = nl.add_input("3");
+    let i6 = nl.add_input("6");
+    let i7 = nl.add_input("7");
+    let g10 = nl.add_gate(GateKind::Nand, "10", &[i1, i3]).expect("fresh");
+    let g11 = nl.add_gate(GateKind::Nand, "11", &[i3, i6]).expect("fresh");
+    let g16 = nl.add_gate(GateKind::Nand, "16", &[i2, g11]).expect("fresh");
+    let g19 = nl.add_gate(GateKind::Nand, "19", &[g11, i7]).expect("fresh");
+    let g22 = nl.add_gate(GateKind::Nand, "22", &[g10, g16]).expect("fresh");
+    let g23 = nl.add_gate(GateKind::Nand, "23", &[g16, g19]).expect("fresh");
+    nl.mark_output(g22);
+    nl.mark_output(g23);
+    nl
+}
+
+/// A `2^sel`-to-1 multiplexer tree from NAND/INV (data inputs
+/// `d0..`, select inputs `s0..`).
+///
+/// # Panics
+///
+/// Panics if `sel == 0` or `sel > 6`.
+pub fn mux_tree(sel: usize) -> Netlist {
+    assert!((1..=6).contains(&sel), "1..=6 select bits supported");
+    let mut nl = Netlist::new();
+    let n_data = 1usize << sel;
+    let data: Vec<NetId> = (0..n_data).map(|i| nl.add_input(&format!("d{i}"))).collect();
+    let selects: Vec<NetId> = (0..sel).map(|i| nl.add_input(&format!("s{i}"))).collect();
+    let mut layer = data;
+    for (si, &s) in selects.iter().enumerate() {
+        let sn = nl
+            .add_gate(GateKind::Inv, &format!("sn{si}"), &[s])
+            .expect("fresh");
+        let mut next = Vec::new();
+        for k in 0..(layer.len() / 2) {
+            let t1 = nl
+                .add_gate(
+                    GateKind::Nand,
+                    &format!("m{si}_{k}_a"),
+                    &[layer[2 * k], sn],
+                )
+                .expect("fresh");
+            let t2 = nl
+                .add_gate(
+                    GateKind::Nand,
+                    &format!("m{si}_{k}_b"),
+                    &[layer[2 * k + 1], s],
+                )
+                .expect("fresh");
+            let y = nl
+                .add_gate(GateKind::Nand, &format!("m{si}_{k}_y"), &[t1, t2])
+                .expect("fresh");
+            next.push(y);
+        }
+        layer = next;
+    }
+    nl.mark_output(layer[0]);
+    nl
+}
+
+/// A 2×2-bit array multiplier (`p = a * b`, 4-bit product) from
+/// AND/NAND/INV primitives. Inputs `a0,a1,b0,b1`; outputs `p0..p3`.
+pub fn multiplier_2x2() -> Netlist {
+    let mut nl = Netlist::new();
+    let a0 = nl.add_input("a0");
+    let a1 = nl.add_input("a1");
+    let b0 = nl.add_input("b0");
+    let b1 = nl.add_input("b1");
+    // Partial products via NAND + INV.
+    let and2 = |nl: &mut Netlist, name: &str, x: NetId, y: NetId| {
+        let n = nl
+            .add_gate(GateKind::Nand, &format!("{name}_n"), &[x, y])
+            .expect("fresh");
+        nl.add_gate(GateKind::Inv, name, &[n]).expect("fresh")
+    };
+    let pp00 = and2(&mut nl, "pp00", a0, b0);
+    let pp10 = and2(&mut nl, "pp10", a1, b0);
+    let pp01 = and2(&mut nl, "pp01", a0, b1);
+    let pp11 = and2(&mut nl, "pp11", a1, b1);
+    // p0 = pp00; p1 = pp10 ^ pp01; carry = pp10 & pp01;
+    // p2 = pp11 ^ carry; p3 = pp11 & carry.
+    let p1 = xor_nand4(&mut nl, "p1x", pp10, pp01);
+    let c1 = and2(&mut nl, "c1", pp10, pp01);
+    let p2 = xor_nand4(&mut nl, "p2x", pp11, c1);
+    let p3 = and2(&mut nl, "p3", pp11, c1);
+    nl.mark_output(pp00);
+    nl.mark_output(p1);
+    nl.mark_output(p2);
+    nl.mark_output(p3);
+    nl
+}
+
+/// An `n`-bit equality comparator (`eq = 1` iff `a == b`) from
+/// XNOR-equivalent NAND blocks and an AND tree. Inputs `a0..`, `b0..`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn equality_comparator(n: usize) -> Netlist {
+    assert!(n > 0, "comparator width must be positive");
+    let mut nl = Netlist::new();
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(&format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(&format!("b{i}"))).collect();
+    // Per-bit equality: NOT(a XOR b) via 4-NAND XOR + INV.
+    let mut eqs = Vec::new();
+    for i in 0..n {
+        let x = xor_nand4(&mut nl, &format!("x{i}"), a[i], b[i]);
+        let e = nl
+            .add_gate(GateKind::Inv, &format!("eq{i}"), &[x])
+            .expect("fresh");
+        eqs.push(e);
+    }
+    // AND-reduce with NAND+INV pairs.
+    let mut acc = eqs[0];
+    for (k, &e) in eqs.iter().enumerate().skip(1) {
+        let nand = nl
+            .add_gate(GateKind::Nand, &format!("r{k}_n"), &[acc, e])
+            .expect("fresh");
+        acc = nl
+            .add_gate(GateKind::Inv, &format!("r{k}"), &[nand])
+            .expect("fresh");
+    }
+    nl.mark_output(acc);
+    nl
+}
+
+/// A `sel`-to-`2^sel` one-hot decoder from NOR/INV cells. Inputs
+/// `s0..`; outputs `d0..d(2^sel-1)`.
+///
+/// # Panics
+///
+/// Panics if `sel == 0` or `sel > 5`.
+pub fn decoder(sel: usize) -> Netlist {
+    assert!((1..=5).contains(&sel), "1..=5 select bits supported");
+    let mut nl = Netlist::new();
+    let s: Vec<NetId> = (0..sel).map(|i| nl.add_input(&format!("s{i}"))).collect();
+    let sn: Vec<NetId> = (0..sel)
+        .map(|i| {
+            nl.add_gate(GateKind::Inv, &format!("sn{i}"), &[s[i]])
+                .expect("fresh")
+        })
+        .collect();
+    for code in 0..(1usize << sel) {
+        // d_code = AND over the right polarity of each select bit,
+        // realized as NOR of the wrong polarities.
+        let ins: Vec<NetId> = (0..sel)
+            .map(|i| {
+                if (code >> i) & 1 == 1 {
+                    sn[i] // want s[i]=1: wrong polarity is !s
+                } else {
+                    s[i]
+                }
+            })
+            .collect();
+        let d = if ins.len() == 1 {
+            nl.add_gate(GateKind::Inv, &format!("d{code}"), &[ins[0]])
+                .expect("fresh")
+        } else {
+            nl.add_gate(GateKind::Nor, &format!("d{code}"), &ins)
+                .expect("fresh")
+        };
+        nl.mark_output(d);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use crate::value::{all_vectors, Lv};
+
+    fn as_bits(v: &[Lv]) -> Vec<bool> {
+        v.iter().map(|x| x.to_bool().unwrap()).collect()
+    }
+
+    #[test]
+    fn fig8_has_paper_cell_counts_and_depth() {
+        let nl = fig8_sum_circuit();
+        assert_eq!(nl.count_kind(GateKind::Nand), 14);
+        assert_eq!(nl.count_kind(GateKind::Inv), 11);
+        assert_eq!(nl.num_gates(), 25);
+        assert_eq!(nl.max_depth().unwrap(), 9);
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn fig8_computes_sum_bit() {
+        let nl = fig8_sum_circuit();
+        for v in all_vectors(3) {
+            let bits = as_bits(&v);
+            let expect = bits[0] ^ bits[1] ^ bits[2];
+            let r = simulate(&nl, &v).unwrap();
+            assert_eq!(
+                r.outputs(&nl)[0],
+                Lv::from_bool(expect),
+                "S({bits:?}) wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_matches_optimized_reference() {
+        let red = fig8_sum_circuit();
+        let opt = sum_circuit_optimized();
+        for v in all_vectors(3) {
+            let r1 = simulate(&red, &v).unwrap().outputs(&red);
+            let r2 = simulate(&opt, &v).unwrap().outputs(&opt);
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder_nand9();
+        for v in all_vectors(3) {
+            let bits = as_bits(&v);
+            let sum = bits[0] ^ bits[1] ^ bits[2];
+            let cout = (bits[0] & bits[1]) | (bits[2] & (bits[0] ^ bits[1]));
+            let r = simulate(&nl, &v).unwrap();
+            assert_eq!(r.outputs(&nl), vec![Lv::from_bool(sum), Lv::from_bool(cout)]);
+        }
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let n = 4;
+        let nl = ripple_carry_adder(n);
+        // Check 5 + 9 + 1 = 15.
+        let encode = |x: usize, width: usize| -> Vec<Lv> {
+            (0..width).map(|i| Lv::from_bool((x >> i) & 1 == 1)).collect()
+        };
+        let mut v = encode(5, n);
+        v.extend(encode(9, n));
+        v.push(Lv::One);
+        let r = simulate(&nl, &v).unwrap();
+        let outs = r.outputs(&nl);
+        let mut result = 0usize;
+        for (i, o) in outs.iter().enumerate() {
+            if *o == Lv::One {
+                result |= 1 << i;
+            }
+        }
+        assert_eq!(result, 15);
+    }
+
+    #[test]
+    fn parity_tree_is_parity() {
+        let nl = parity_tree(5);
+        for v in all_vectors(5) {
+            let ones = as_bits(&v).iter().filter(|&&b| b).count();
+            let r = simulate(&nl, &v).unwrap();
+            assert_eq!(r.outputs(&nl)[0], Lv::from_bool(ones % 2 == 1));
+        }
+    }
+
+    #[test]
+    fn c17_structure() {
+        let nl = c17();
+        assert_eq!(nl.num_gates(), 6);
+        assert_eq!(nl.count_kind(GateKind::Nand), 6);
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        // Spot-check: all-ones input.
+        let r = simulate(&nl, &[Lv::One; 5]).unwrap();
+        assert_eq!(r.outputs(&nl).len(), 2);
+    }
+
+    #[test]
+    fn multiplier_2x2_exhaustive() {
+        let nl = multiplier_2x2();
+        for v in all_vectors(4) {
+            let bits = as_bits(&v);
+            let a = bits[0] as usize + 2 * bits[1] as usize;
+            let b = bits[2] as usize + 2 * bits[3] as usize;
+            let product = a * b;
+            let r = simulate(&nl, &v).unwrap();
+            let outs = r.outputs(&nl);
+            let mut got = 0usize;
+            for (i, o) in outs.iter().enumerate() {
+                if *o == Lv::One {
+                    got |= 1 << i;
+                }
+            }
+            assert_eq!(got, product, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn equality_comparator_exhaustive() {
+        let n = 3;
+        let nl = equality_comparator(n);
+        for v in all_vectors(2 * n) {
+            let bits = as_bits(&v);
+            let expect = bits[..n] == bits[n..];
+            let r = simulate(&nl, &v).unwrap();
+            assert_eq!(r.outputs(&nl)[0], Lv::from_bool(expect));
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let nl = decoder(3);
+        for v in all_vectors(3) {
+            let bits = as_bits(&v);
+            let code = bits
+                .iter()
+                .enumerate()
+                .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+            let r = simulate(&nl, &v).unwrap();
+            let outs = r.outputs(&nl);
+            for (k, o) in outs.iter().enumerate() {
+                assert_eq!(*o, Lv::from_bool(k == code), "code {code} line {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects_data() {
+        let nl = mux_tree(2);
+        // d = [d0..d3], s = [s0 (low level), s1 (high level)].
+        for sel in 0..4usize {
+            let mut v = vec![Lv::Zero; 4];
+            v[sel] = Lv::One;
+            // s0 selects within pairs (LSB), s1 selects between pairs.
+            v.push(Lv::from_bool(sel & 1 == 1));
+            v.push(Lv::from_bool(sel & 2 == 2));
+            let r = simulate(&nl, &v).unwrap();
+            assert_eq!(r.outputs(&nl)[0], Lv::One, "sel={sel}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction, parsing and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A gate was given the wrong number of inputs for its kind.
+    ArityMismatch {
+        /// The gate kind's name.
+        kind: &'static str,
+        /// Expected input count description.
+        expected: String,
+        /// What was provided.
+        found: usize,
+    },
+    /// A net already has a driver.
+    MultipleDrivers {
+        /// Net name.
+        net: String,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// A net has no driver and is not a primary input.
+    Undriven {
+        /// Net name.
+        net: String,
+    },
+    /// Wrong number of primary-input values supplied to a simulation.
+    InputCountMismatch {
+        /// Number of primary inputs in the netlist.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// A referenced name does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::ArityMismatch {
+                kind,
+                expected,
+                found,
+            } => write!(f, "{kind} expects {expected} inputs, got {found}"),
+            LogicError::MultipleDrivers { net } => {
+                write!(f, "net '{net}' has multiple drivers")
+            }
+            LogicError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net '{net}'")
+            }
+            LogicError::Undriven { net } => {
+                write!(f, "net '{net}' is neither driven nor a primary input")
+            }
+            LogicError::InputCountMismatch { expected, found } => {
+                write!(f, "expected {expected} input values, got {found}")
+            }
+            LogicError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LogicError::NotFound(name) => write!(f, "not found: {name}"),
+        }
+    }
+}
+
+impl Error for LogicError {}

@@ -1,0 +1,211 @@
+//! 64-way bit-parallel two-valued simulation.
+//!
+//! Each net carries a `u64`; bit `i` is the net's value under pattern `i`.
+//! This is the classic parallel-pattern evaluation used to make fault
+//! grading of large random-pattern sets cheap.
+
+use crate::netlist::{GateId, NetId, Netlist};
+use crate::value::Lv;
+use crate::LogicError;
+
+/// A block of up to 64 fully-specified input patterns.
+#[derive(Debug, Clone, Default)]
+pub struct PatternBlock {
+    /// `words[i]` is the packed values of primary input `i` across the
+    /// block's patterns.
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl PatternBlock {
+    /// Packs up to 64 vectors (each `vectors[k][i]` is PI `i` of pattern
+    /// `k`). Unknown (`X`) values are treated as 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 vectors are supplied or the vectors have
+    /// inconsistent lengths.
+    pub fn pack(vectors: &[Vec<Lv>]) -> Self {
+        assert!(vectors.len() <= 64, "at most 64 patterns per block");
+        let n_inputs = vectors.first().map_or(0, |v| v.len());
+        let mut words = vec![0u64; n_inputs];
+        for (k, v) in vectors.iter().enumerate() {
+            assert_eq!(v.len(), n_inputs, "inconsistent vector lengths");
+            for (i, &lv) in v.iter().enumerate() {
+                if lv == Lv::One {
+                    words[i] |= 1 << k;
+                }
+            }
+        }
+        PatternBlock {
+            words,
+            count: vectors.len(),
+        }
+    }
+
+    /// Number of patterns in the block.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mask with one bit set per valid pattern.
+    pub fn mask(&self) -> u64 {
+        if self.count == 64 {
+            !0
+        } else {
+            (1u64 << self.count) - 1
+        }
+    }
+
+    /// Packed word for primary input `i`.
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+}
+
+/// Result of a parallel simulation: one packed word per net.
+#[derive(Debug, Clone)]
+pub struct ParallelResult {
+    words: Vec<u64>,
+    mask: u64,
+}
+
+impl ParallelResult {
+    /// Packed values of a net.
+    pub fn word(&self, n: NetId) -> u64 {
+        self.words[n.index()]
+    }
+
+    /// Value of net `n` under pattern `k`.
+    pub fn value(&self, n: NetId, k: usize) -> bool {
+        (self.words[n.index()] >> k) & 1 == 1
+    }
+
+    /// Mask of valid pattern bits.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+}
+
+/// Simulates a pattern block through the netlist.
+///
+/// # Errors
+///
+/// * [`LogicError::InputCountMismatch`] if the block width differs from the
+///   PI count.
+/// * Propagates levelization errors.
+pub fn simulate_block(nl: &Netlist, block: &PatternBlock) -> Result<ParallelResult, LogicError> {
+    let order = nl.levelize()?;
+    simulate_block_with_order(nl, &order, block)
+}
+
+/// [`simulate_block`] with a precomputed topological order.
+///
+/// # Errors
+///
+/// [`LogicError::InputCountMismatch`] on wrong block width.
+pub fn simulate_block_with_order(
+    nl: &Netlist,
+    order: &[GateId],
+    block: &PatternBlock,
+) -> Result<ParallelResult, LogicError> {
+    if block.words.len() != nl.inputs().len() {
+        return Err(LogicError::InputCountMismatch {
+            expected: nl.inputs().len(),
+            found: block.words.len(),
+        });
+    }
+    let mut words = vec![0u64; nl.num_nets()];
+    for (i, &n) in nl.inputs().iter().enumerate() {
+        words[n.index()] = block.word(i);
+    }
+    let mut scratch = Vec::new();
+    for &g in order {
+        let gate = nl.gate(g);
+        scratch.clear();
+        scratch.extend(gate.inputs.iter().map(|n| words[n.index()]));
+        words[gate.output.index()] = gate.kind.eval_packed(&scratch);
+    }
+    Ok(ParallelResult {
+        words,
+        mask: block.mask(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateKind;
+    use crate::sim::simulate;
+    use crate::value::all_vectors;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let n1 = nl.add_gate(GateKind::Nand, "n1", &[a, b]).unwrap();
+        let n2 = nl.add_gate(GateKind::Xor, "n2", &[n1, c]).unwrap();
+        let y = nl.add_gate(GateKind::Nor, "y", &[n2, a]).unwrap();
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn parallel_matches_scalar_exhaustively() {
+        let nl = sample();
+        let vectors: Vec<_> = all_vectors(3).collect();
+        let block = PatternBlock::pack(&vectors);
+        let par = simulate_block(&nl, &block).unwrap();
+        let y = nl.find_net("y").unwrap();
+        for (k, v) in vectors.iter().enumerate() {
+            let scalar = simulate(&nl, v).unwrap().value(y);
+            assert_eq!(
+                Lv::from_bool(par.value(y, k)),
+                scalar,
+                "pattern {k} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn block_mask_counts_patterns() {
+        let vectors: Vec<_> = all_vectors(2).collect();
+        let block = PatternBlock::pack(&vectors);
+        assert_eq!(block.len(), 4);
+        assert_eq!(block.mask(), 0b1111);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let nl = sample();
+        let block = PatternBlock::pack(&[vec![Lv::One]]);
+        assert!(matches!(
+            simulate_block(&nl, &block),
+            Err(LogicError::InputCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn full_64_pattern_block() {
+        let nl = sample();
+        let vectors: Vec<Vec<Lv>> = (0..64)
+            .map(|k| {
+                (0..3)
+                    .map(|i| Lv::from_bool((k >> i) & 1 == 1))
+                    .collect()
+            })
+            .collect();
+        let block = PatternBlock::pack(&vectors);
+        assert_eq!(block.mask(), !0u64);
+        let par = simulate_block(&nl, &block).unwrap();
+        let y = nl.find_net("y").unwrap();
+        let scalar = simulate(&nl, &vectors[63]).unwrap().value(y);
+        assert_eq!(Lv::from_bool(par.value(y, 63)), scalar);
+    }
+}

@@ -1,0 +1,104 @@
+//! DC operating-point analysis.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::engine::Solver;
+use crate::{SimOptions, SpiceError};
+
+/// Result of an operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    voltages: HashMap<usize, f64>,
+    source_currents: Vec<f64>,
+}
+
+impl OpResult {
+    /// Voltage of a node (ground is 0).
+    pub fn voltage(&self, n: NodeId) -> f64 {
+        if n.is_ground() {
+            0.0
+        } else {
+            *self.voltages.get(&n.index()).unwrap_or(&0.0)
+        }
+    }
+
+    /// Branch current of the `k`-th voltage source (in device insertion
+    /// order). Negative means current flows out of the plus terminal —
+    /// the usual situation for a supply.
+    pub fn source_current(&self, k: usize) -> Option<f64> {
+        self.source_currents.get(k).copied()
+    }
+
+    /// Total current magnitude delivered by source `k` — convenient for
+    /// IDDQ-style measurements.
+    pub fn supply_current_magnitude(&self, k: usize) -> Option<f64> {
+        self.source_current(k).map(f64::abs)
+    }
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+///
+/// Propagates validation and convergence errors.
+///
+/// # Example
+///
+/// ```rust
+/// use obd_spice::{Circuit, SimOptions, analysis::op::operating_point};
+/// use obd_spice::devices::{Resistor, SourceWave, Vsource};
+///
+/// # fn main() -> Result<(), obd_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let mid = ckt.node("mid");
+/// ckt.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(2.0)));
+/// ckt.add_resistor(Resistor::new("R1", vin, mid, 1e3));
+/// ckt.add_resistor(Resistor::new("R2", mid, Circuit::GROUND, 1e3));
+/// let op = operating_point(&ckt, &SimOptions::new())?;
+/// assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn operating_point(ckt: &Circuit, opts: &SimOptions) -> Result<OpResult, SpiceError> {
+    let mut solver = Solver::new(ckt, opts)?;
+    let x = solver.operating_point()?;
+    Ok(collect(ckt, &solver, &x))
+}
+
+pub(crate) fn collect(ckt: &Circuit, solver: &Solver<'_>, x: &[f64]) -> OpResult {
+    let mut voltages = HashMap::new();
+    for idx in 1..ckt.num_nodes() {
+        let n = crate::circuit::NodeId(idx);
+        voltages.insert(idx, solver.voltage(x, n));
+    }
+    let n_src = ckt.num_vsources();
+    let mut source_currents = Vec::with_capacity(n_src);
+    for k in 0..n_src {
+        source_currents.push(solver.source_current(x, k));
+    }
+    OpResult {
+        voltages,
+        source_currents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Resistor, SourceWave, Vsource};
+
+    #[test]
+    fn supply_current_of_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(2.0)));
+        c.add_resistor(Resistor::new("R1", vin, Circuit::GROUND, 1e3));
+        let op = operating_point(&c, &SimOptions::new()).unwrap();
+        // 2 mA magnitude, flowing out of the plus terminal.
+        assert!((op.supply_current_magnitude(0).unwrap() - 2e-3).abs() < 1e-9);
+        assert!(op.source_current(0).unwrap() < 0.0);
+        assert!(op.source_current(1).is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! Fixed-step transient analysis.
+//!
+//! The integrator is trapezoidal by default (with a backward-Euler startup
+//! step to establish consistent capacitor history) and retries a failed
+//! timestep at progressively smaller sub-steps. Every accepted step is
+//! recorded into a [`Waveform`].
+
+use crate::circuit::Circuit;
+use crate::devices::{EvalCtx, Integration};
+use crate::engine::Solver;
+use crate::{SimOptions, SpiceError, Waveform};
+
+/// Integration method selection for transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranMethod {
+    /// Backward Euler everywhere: first order, strongly damped. Useful as
+    /// an accuracy ablation baseline.
+    BackwardEuler,
+    /// Trapezoidal with one backward-Euler startup step (default).
+    Trapezoidal,
+}
+
+/// Transient analysis parameters.
+#[derive(Debug, Clone)]
+pub struct TranParams {
+    /// Timestep (seconds).
+    pub step: f64,
+    /// Stop time (seconds); the analysis runs from t = 0 to `stop`.
+    pub stop: f64,
+    /// Integration method.
+    pub method: TranMethod,
+    /// Use the DC operating point as the initial condition (default).
+    /// When `false`, all nodes start at 0 V ("UIC").
+    pub from_op: bool,
+    /// Maximum number of halvings applied to a non-converging step.
+    pub max_step_halvings: u32,
+}
+
+impl TranParams {
+    /// Creates parameters with trapezoidal integration starting from the
+    /// DC operating point.
+    pub fn new(step: f64, stop: f64) -> Self {
+        TranParams {
+            step,
+            stop,
+            method: TranMethod::Trapezoidal,
+            from_op: true,
+            max_step_halvings: 8,
+        }
+    }
+
+    /// Selects backward-Euler integration.
+    pub fn with_backward_euler(mut self) -> Self {
+        self.method = TranMethod::BackwardEuler;
+        self
+    }
+
+    /// Starts from all-zero initial conditions instead of the operating
+    /// point.
+    pub fn with_uic(mut self) -> Self {
+        self.from_op = false;
+        self
+    }
+}
+
+/// Runs a transient analysis with default [`SimOptions`].
+///
+/// # Errors
+///
+/// Propagates validation, convergence and singularity errors.
+pub fn transient(ckt: &Circuit, params: &TranParams) -> Result<Waveform, SpiceError> {
+    transient_with_options(ckt, params, &SimOptions::new())
+}
+
+/// Runs a transient analysis with explicit solver options.
+///
+/// # Errors
+///
+/// Propagates validation, convergence and singularity errors; a step that
+/// keeps failing after `max_step_halvings` halvings yields
+/// [`SpiceError::Convergence`].
+pub fn transient_with_options(
+    ckt: &Circuit,
+    params: &TranParams,
+    opts: &SimOptions,
+) -> Result<Waveform, SpiceError> {
+    if !(params.step > 0.0 && params.stop > 0.0 && params.step <= params.stop) {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "bad transient window: step {} stop {}",
+            params.step, params.stop
+        )));
+    }
+    let mut solver = Solver::new(ckt, opts)?;
+
+    // Initial condition.
+    let mut x = if params.from_op {
+        solver.operating_point()?
+    } else {
+        vec![0.0; solver.dim()]
+    };
+
+    // Seed capacitor history from the initial solution.
+    let init_ctx = EvalCtx {
+        time: 0.0,
+        source_scale: 1.0,
+        gmin: opts.gmin,
+        integ: Integration::Dc,
+        vt: crate::thermal_voltage_at(opts.temperature_c),
+    };
+    accept(ckt, &mut solver, &x, &init_ctx);
+
+    let mut wave = Waveform::new();
+    record(ckt, &solver, &x, 0.0, &mut wave);
+
+    let mut t = 0.0;
+    let mut first_step = true;
+    while t < params.stop - 0.5 * params.step {
+        let target = (t + params.step).min(params.stop);
+        x = advance_to(
+            ckt,
+            &mut solver,
+            opts,
+            params,
+            &x,
+            t,
+            target,
+            first_step,
+            params.max_step_halvings,
+        )?;
+        t = target;
+        first_step = false;
+        record(ckt, &solver, &x, t, &mut wave);
+    }
+    Ok(wave)
+}
+
+/// Advances the solution from `t0` to `t1`, recursively halving on
+/// convergence failure.
+#[allow(clippy::too_many_arguments)]
+fn advance_to(
+    ckt: &Circuit,
+    solver: &mut Solver<'_>,
+    opts: &SimOptions,
+    params: &TranParams,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    startup: bool,
+    halvings_left: u32,
+) -> Result<Vec<f64>, SpiceError> {
+    let h = t1 - t0;
+    let integ = match (params.method, startup) {
+        (TranMethod::BackwardEuler, _) | (TranMethod::Trapezoidal, true) => {
+            Integration::BackwardEuler { h }
+        }
+        (TranMethod::Trapezoidal, false) => Integration::Trapezoidal { h },
+    };
+    let ctx = EvalCtx {
+        time: t1,
+        source_scale: 1.0,
+        gmin: opts.gmin,
+        integ,
+        vt: crate::thermal_voltage_at(opts.temperature_c),
+    };
+    match solver.newton(&ctx, x0) {
+        Ok(x) => {
+            accept(ckt, solver, &x, &ctx);
+            Ok(x)
+        }
+        Err(_) if halvings_left > 0 => {
+            let mid = 0.5 * (t0 + t1);
+            let xm = advance_to(ckt, solver, opts, params, x0, t0, mid, startup, halvings_left - 1)?;
+            advance_to(ckt, solver, opts, params, &xm, mid, t1, false, halvings_left - 1)
+        }
+        Err(e) => Err(SpiceError::Convergence {
+            analysis: "tran",
+            at: Some(t1),
+            detail: e.to_string(),
+        }),
+    }
+}
+
+fn accept(ckt: &Circuit, solver: &mut Solver<'_>, x: &[f64], ctx: &EvalCtx) {
+    for (i, dev) in ckt.devices().iter().enumerate() {
+        dev.accept_timestep(x, ctx, &mut solver.states[i]);
+    }
+}
+
+fn record(ckt: &Circuit, solver: &Solver<'_>, x: &[f64], t: f64, wave: &mut Waveform) {
+    let voltages: Vec<_> = (1..ckt.num_nodes())
+        .map(|idx| {
+            let n = crate::circuit::NodeId(idx);
+            (n, solver.voltage(x, n))
+        })
+        .collect();
+    let currents: Vec<_> = (0..ckt.num_vsources())
+        .map(|k| (k, solver.source_current(x, k)))
+        .collect();
+    wave.push_sample(t, voltages, currents);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Capacitor, Resistor, SourceWave, Vsource};
+
+    /// RC charging from a step: compare to the analytic exponential.
+    #[test]
+    fn rc_step_matches_analytic() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        // Source steps 0 -> 1 V at t = 1 ns over 10 ps.
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::step(0.0, 1.0, 1e-9, 10e-12),
+        ));
+        c.add_resistor(Resistor::new("R1", vin, out, 1e3)); // tau = 1 ns
+        c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+        let wave = transient(&c, &TranParams::new(5e-12, 6e-9)).unwrap();
+        // At t = 1ns + 2*tau the analytic value is 1 - e^-2 ≈ 0.8647
+        // (edge is fast compared to tau).
+        let v = wave.sample_at(out, 3.01e-9);
+        assert!((v - 0.8647).abs() < 0.01, "v = {v}");
+    }
+
+    #[test]
+    fn backward_euler_also_converges_to_final_value() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(2.0)));
+        c.add_resistor(Resistor::new("R1", vin, out, 1e3));
+        c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+        // UIC start: cap begins at 0, charges to 2.
+        let params = TranParams::new(20e-12, 10e-9).with_backward_euler().with_uic();
+        let wave = transient(&c, &params).unwrap();
+        assert!((wave.final_value(out) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_op_start_is_already_settled() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(1.5)));
+        c.add_resistor(Resistor::new("R1", vin, out, 1e3));
+        c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+        let wave = transient(&c, &TranParams::new(50e-12, 2e-9)).unwrap();
+        // No transient at all: output pinned at 1.5 V throughout.
+        let (lo, hi) = wave.extrema(out);
+        assert!((lo - 1.5).abs() < 1e-6 && (hi - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_window() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(1.0)));
+        c.add_resistor(Resistor::new("R1", vin, Circuit::GROUND, 1e3));
+        assert!(transient(&c, &TranParams::new(0.0, 1e-9)).is_err());
+        assert!(transient(&c, &TranParams::new(1e-9, -1.0)).is_err());
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        // One coarse-step RC charge; TR should land closer to the analytic
+        // value than BE at the same step size.
+        let analytic = |t: f64| 1.0 - (-t / 1e-9_f64).exp();
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let out = c.node("out");
+            c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(1.0)));
+            c.add_resistor(Resistor::new("R1", vin, out, 1e3));
+            c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+            (c, out)
+        };
+        let (c1, out1) = build();
+        let coarse = 0.25e-9;
+        let tr = transient(&c1, &TranParams::new(coarse, 2e-9).with_uic()).unwrap();
+        let (c2, out2) = build();
+        let be = transient(
+            &c2,
+            &TranParams::new(coarse, 2e-9).with_backward_euler().with_uic(),
+        )
+        .unwrap();
+        let t_probe = 1.0e-9;
+        let err_tr = (tr.sample_at(out1, t_probe) - analytic(t_probe)).abs();
+        let err_be = (be.sample_at(out2, t_probe) - analytic(t_probe)).abs();
+        assert!(
+            err_tr < err_be,
+            "trapezoidal err {err_tr} should beat BE err {err_be}"
+        );
+    }
+}

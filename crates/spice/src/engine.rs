@@ -1,0 +1,356 @@
+//! Nonlinear solution engine: damped Newton–Raphson with junction limiting,
+//! plus gmin stepping and source stepping for hard operating points.
+
+use obd_linalg::solve_refined;
+
+use crate::circuit::Circuit;
+use crate::devices::{Device, DeviceState, EvalCtx, Integration};
+use crate::stamp::Stamp;
+use crate::{SimOptions, SpiceError};
+
+/// A prepared solver for one circuit: the stamp workspace, the branch-row
+/// assignment for voltage sources, and per-device state.
+#[derive(Debug)]
+pub struct Solver<'c> {
+    ckt: &'c Circuit,
+    /// For each device index, its voltage-source branch row (if any).
+    branch_of: Vec<Option<usize>>,
+    /// Per-device limiting/transient state.
+    pub states: Vec<DeviceState>,
+    stamp: Stamp,
+    opts: SimOptions,
+}
+
+impl<'c> Solver<'c> {
+    /// Prepares a solver, validating the circuit first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Circuit::validate`] failures.
+    pub fn new(ckt: &'c Circuit, opts: &SimOptions) -> Result<Self, SpiceError> {
+        ckt.validate()?;
+        let mut branch_of = Vec::with_capacity(ckt.num_devices());
+        let mut next_branch = 0;
+        for d in ckt.devices() {
+            if matches!(d, Device::Vsource(_)) {
+                branch_of.push(Some(next_branch));
+                next_branch += 1;
+            } else {
+                branch_of.push(None);
+            }
+        }
+        let stamp = Stamp::new(ckt.num_nodes(), next_branch);
+        Ok(Solver {
+            ckt,
+            branch_of,
+            states: vec![DeviceState::default(); ckt.num_devices()],
+            stamp,
+            opts: opts.clone(),
+        })
+    }
+
+    /// System dimension (node voltages + source branch currents).
+    pub fn dim(&self) -> usize {
+        self.stamp.dim()
+    }
+
+    /// Shared stamp accessor for analyses that need voltage lookups.
+    pub fn stamp(&self) -> &Stamp {
+        &self.stamp
+    }
+
+    /// Solver options.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// One full Newton solve at the given context, starting from `x0`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Convergence`] when the iteration does not settle within
+    /// `max_newton` iterations, [`SpiceError::Singular`] when the MNA matrix
+    /// cannot be factored.
+    pub fn newton(&mut self, ctx: &EvalCtx, x0: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        let mut x = x0.to_vec();
+        let n_nodes = self.ckt.num_nodes() - 1;
+        for _iter in 0..self.opts.max_newton {
+            self.stamp.clear();
+            for (i, dev) in self.ckt.devices().iter().enumerate() {
+                dev.stamp(&mut self.stamp, &x, ctx, &mut self.states[i], self.branch_of[i]);
+            }
+            self.stamp.add_gmin_loading(self.opts.gmin);
+            let x_new = solve_refined(&self.stamp.a, &self.stamp.z)?;
+
+            // Damped update: clamp node-voltage moves; branch currents are
+            // taken as solved.
+            let mut converged = true;
+            let mut damped = false;
+            for i in 0..x.len() {
+                let target = if i < n_nodes {
+                    x_new[i].clamp(-self.opts.voltage_clamp, self.opts.voltage_clamp)
+                } else {
+                    x_new[i]
+                };
+                if i < n_nodes {
+                    if !self.opts.voltage_converged(target, x[i]) {
+                        converged = false;
+                    }
+                    let dv = target - x[i];
+                    let lim = self.opts.max_voltage_step;
+                    if dv.abs() > lim {
+                        x[i] += lim.copysign(dv);
+                        damped = true;
+                    } else {
+                        x[i] = target;
+                    }
+                } else {
+                    // Currents: relative + absolute tolerance.
+                    if (target - x[i]).abs()
+                        > self.opts.reltol * target.abs().max(x[i].abs()) + self.opts.abstol
+                    {
+                        converged = false;
+                    }
+                    x[i] = target;
+                }
+            }
+            if converged && !damped {
+                return Ok(x);
+            }
+        }
+        Err(SpiceError::Convergence {
+            analysis: "newton",
+            at: Some(ctx.time),
+            detail: format!("no convergence in {} iterations", self.opts.max_newton),
+        })
+    }
+
+    /// DC operating point with gmin stepping and source stepping fallbacks.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Convergence`] if every strategy fails.
+    pub fn operating_point(&mut self) -> Result<Vec<f64>, SpiceError> {
+        let base_ctx = EvalCtx {
+            time: 0.0,
+            source_scale: 1.0,
+            gmin: self.opts.gmin,
+            integ: Integration::Dc,
+            vt: crate::thermal_voltage_at(self.opts.temperature_c),
+        };
+        let x0 = vec![0.0; self.dim()];
+
+        // 1. Direct attempt.
+        if let Ok(x) = self.newton(&base_ctx, &x0) {
+            return Ok(x);
+        }
+
+        // 2. Gmin stepping: solve with a large parallel conductance, then
+        //    relax it back down, reusing each solution as the next guess.
+        let mut x = x0.clone();
+        let mut ok = true;
+        let ladder = self.opts.gmin_steps.clone();
+        for &g in &ladder {
+            self.reset_limit_state();
+            let ctx = EvalCtx {
+                gmin: g,
+                ..base_ctx
+            };
+            match self.newton(&ctx, &x) {
+                Ok(sol) => x = sol,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            self.reset_limit_state();
+            if let Ok(sol) = self.newton(&base_ctx, &x) {
+                return Ok(sol);
+            }
+        }
+
+        // 3. Source stepping: ramp all independent sources from 0.
+        let mut x = x0;
+        let steps = self.opts.source_steps.max(1);
+        for k in 0..=steps {
+            self.reset_limit_state();
+            let scale = k as f64 / steps as f64;
+            let ctx = EvalCtx {
+                source_scale: scale,
+                ..base_ctx
+            };
+            x = self.newton(&ctx, &x).map_err(|_| SpiceError::Convergence {
+                analysis: "op",
+                at: Some(scale),
+                detail: "source stepping failed".into(),
+            })?;
+        }
+        Ok(x)
+    }
+
+    /// Clears junction-limiting memory (kept between continuation steps,
+    /// reset between strategies).
+    pub fn reset_limit_state(&mut self) {
+        for s in &mut self.states {
+            s.limit = [0.0; 2];
+        }
+    }
+
+    /// Node voltage from a solution vector.
+    pub fn voltage(&self, x: &[f64], n: crate::NodeId) -> f64 {
+        self.stamp.voltage(x, n)
+    }
+
+    /// Branch current of the `k`-th voltage source from a solution vector.
+    pub fn source_current(&self, x: &[f64], k: usize) -> f64 {
+        self.stamp.branch_current(x, k)
+    }
+
+    /// Branch row of a device if it is a voltage source.
+    pub fn branch_of(&self, device_index: usize) -> Option<usize> {
+        self.branch_of[device_index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{DiodeParams, Diode, MosParams, Mosfet, MosPolarity, Resistor, SourceWave, Vsource};
+    use crate::Circuit;
+
+    #[test]
+    fn linear_divider_op() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(2.0)));
+        c.add_resistor(Resistor::new("R1", vin, mid, 1e3));
+        c.add_resistor(Resistor::new("R2", mid, Circuit::GROUND, 1e3));
+        let opts = SimOptions::new();
+        let mut s = Solver::new(&c, &opts).unwrap();
+        let x = s.operating_point().unwrap();
+        assert!((s.voltage(&x, mid) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_drop_about_0_6v() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let a = c.node("a");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(3.0)));
+        c.add_resistor(Resistor::new("R1", vin, a, 1e3));
+        c.add_diode(Diode::new("D1", a, Circuit::GROUND, DiodeParams::new(1e-14)));
+        let opts = SimOptions::new();
+        let mut s = Solver::new(&c, &opts).unwrap();
+        let x = s.operating_point().unwrap();
+        let vd = s.voltage(&x, a);
+        assert!(vd > 0.5 && vd < 0.8, "vd = {vd}");
+        // KCL: resistor current equals diode current.
+        let ir = (3.0 - vd) / 1e3;
+        assert!(ir > 1e-3, "current should be mA scale, got {ir}");
+    }
+
+    #[test]
+    fn tiny_isat_diode_high_drop() {
+        // The OBD breakdown regime: isat = 1e-30 means ~1.6-1.8 V drop at
+        // mA currents. Classic pnjlim territory.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let a = c.node("a");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(3.3)));
+        c.add_resistor(Resistor::new("R1", vin, a, 500.0));
+        c.add_diode(Diode::new("D1", a, Circuit::GROUND, DiodeParams::new(1e-30)));
+        let opts = SimOptions::new();
+        let mut s = Solver::new(&c, &opts).unwrap();
+        let x = s.operating_point().unwrap();
+        let vd = s.voltage(&x, a);
+        assert!(vd > 1.4 && vd < 2.1, "vd = {vd}");
+    }
+
+    #[test]
+    fn conflicting_voltage_sources_report_singular() {
+        // Two ideal sources forcing different values on the same node:
+        // the MNA matrix has linearly dependent branch rows.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(Vsource::new("V1", a, Circuit::GROUND, SourceWave::dc(1.0)));
+        c.add_vsource(Vsource::new("V2", a, Circuit::GROUND, SourceWave::dc(2.0)));
+        c.add_resistor(Resistor::new("R1", a, Circuit::GROUND, 1e3));
+        let opts = SimOptions::new();
+        let mut s = Solver::new(&c, &opts).unwrap();
+        assert!(matches!(
+            s.operating_point(),
+            Err(SpiceError::Singular { .. }) | Err(SpiceError::Convergence { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_failure_surfaces_from_solver() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.node("floating");
+        c.add_resistor(Resistor::new("R1", a, Circuit::GROUND, 1e3));
+        let opts = SimOptions::new();
+        assert!(matches!(
+            Solver::new(&c, &opts),
+            Err(SpiceError::InvalidCircuit(_))
+        ));
+    }
+
+    #[test]
+    fn back_to_back_diodes_converge() {
+        // Anti-series diodes block in both directions: the node between
+        // them floats except for gmin — a classic conditioning test.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(3.3)));
+        c.add_diode(Diode::new("D1", vin, mid, DiodeParams::new(1e-14)));
+        c.add_diode(Diode::new("D2", Circuit::GROUND, mid, DiodeParams::new(1e-14)));
+        let opts = SimOptions::new();
+        let mut s = Solver::new(&c, &opts).unwrap();
+        let x = s.operating_point().unwrap();
+        let vm = s.voltage(&x, mid);
+        assert!(vm.is_finite() && (-0.5..=3.8).contains(&vm), "vm = {vm}");
+    }
+
+    #[test]
+    fn nmos_inverter_static_points() {
+        // Resistive-load inverter: output high when input low, low when
+        // input high.
+        let run = |vin_v: f64| -> f64 {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let vin = c.node("in");
+            let out = c.node("out");
+            c.add_vsource(Vsource::new("VDD", vdd, Circuit::GROUND, SourceWave::dc(3.3)));
+            c.add_vsource(Vsource::new("VIN", vin, Circuit::GROUND, SourceWave::dc(vin_v)));
+            c.add_resistor(Resistor::new("RL", vdd, out, 10e3));
+            c.add_mosfet(Mosfet::new(
+                "M1",
+                MosPolarity::Nmos,
+                out,
+                vin,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                MosParams {
+                    vt0: 0.5,
+                    kp: 100e-6,
+                    lambda: 0.02,
+                    gamma: 0.0,
+                    phi: 0.7,
+                    w: 4e-6,
+                    l: 0.5e-6,
+                },
+            ));
+            let opts = SimOptions::new();
+            let mut s = Solver::new(&c, &opts).unwrap();
+            let x = s.operating_point().unwrap();
+            s.voltage(&x, out)
+        };
+        assert!((run(0.0) - 3.3).abs() < 1e-6);
+        assert!(run(3.3) < 0.2);
+    }
+}

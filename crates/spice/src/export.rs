@@ -1,0 +1,231 @@
+//! Exporting a [`Circuit`] as SPICE-dialect netlist text.
+//!
+//! The output is accepted by ngspice/HSPICE-class simulators (with a
+//! `.model` card per device class), which lets users cross-check this
+//! crate's results against an external reference — the reproducibility
+//! escape hatch for the HSPICE substitution documented in DESIGN.md.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::devices::{Device, MosPolarity, SourceWave};
+
+/// Renders the circuit as SPICE netlist text.
+///
+/// Waveform sources become `DC`/`PULSE`/`PWL` cards; MOSFETs reference
+/// per-instance `.model` cards carrying their Level-1 parameters; diodes
+/// likewise. Node 0 is ground, as usual.
+pub fn to_spice(ckt: &Circuit, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "* {title}");
+    let mut models = String::new();
+    for (k, d) in ckt.devices().iter().enumerate() {
+        match d {
+            Device::Resistor(r) => {
+                let _ = writeln!(
+                    s,
+                    "R{k}_{} {} {} {:.6e}",
+                    sanitize(&r.name),
+                    node(ckt, r.a),
+                    node(ckt, r.b),
+                    r.ohms
+                );
+            }
+            Device::Capacitor(c) => {
+                let _ = writeln!(
+                    s,
+                    "C{k}_{} {} {} {:.6e}",
+                    sanitize(&c.name),
+                    node(ckt, c.a),
+                    node(ckt, c.b),
+                    c.farads
+                );
+            }
+            Device::Diode(dd) => {
+                let model = format!("DM{k}");
+                let _ = writeln!(
+                    s,
+                    "D{k}_{} {} {} {model}",
+                    sanitize(&dd.name),
+                    node(ckt, dd.anode),
+                    node(ckt, dd.cathode)
+                );
+                let _ = writeln!(
+                    models,
+                    ".model {model} D(IS={:.3e} N={:.3})",
+                    dd.params.isat, dd.params.n
+                );
+            }
+            Device::Vsource(v) => {
+                let _ = writeln!(
+                    s,
+                    "V{k}_{} {} {} {}",
+                    sanitize(&v.name),
+                    node(ckt, v.plus),
+                    node(ckt, v.minus),
+                    wave(&v.wave)
+                );
+            }
+            Device::Isource(i) => {
+                let _ = writeln!(
+                    s,
+                    "I{k}_{} {} {} {}",
+                    sanitize(&i.name),
+                    node(ckt, i.from),
+                    node(ckt, i.to),
+                    wave(&i.wave)
+                );
+            }
+            Device::Mosfet(m) => {
+                let model = format!("MM{k}");
+                let kind = match m.polarity {
+                    MosPolarity::Nmos => "NMOS",
+                    MosPolarity::Pmos => "PMOS",
+                };
+                let _ = writeln!(
+                    s,
+                    "M{k}_{} {} {} {} {} {model} W={:.3e} L={:.3e}",
+                    sanitize(&m.name),
+                    node(ckt, m.drain),
+                    node(ckt, m.gate),
+                    node(ckt, m.source),
+                    node(ckt, m.bulk),
+                    m.params.w,
+                    m.params.l
+                );
+                let vto = match m.polarity {
+                    MosPolarity::Nmos => m.params.vt0,
+                    MosPolarity::Pmos => -m.params.vt0,
+                };
+                let _ = writeln!(
+                    models,
+                    ".model {model} {kind}(LEVEL=1 VTO={:.3} KP={:.3e} LAMBDA={:.3} GAMMA={:.3} PHI={:.3})",
+                    vto, m.params.kp, m.params.lambda, m.params.gamma, m.params.phi
+                );
+            }
+        }
+    }
+    s.push_str(&models);
+    s.push_str(".end\n");
+    s
+}
+
+fn node(ckt: &Circuit, n: crate::NodeId) -> String {
+    if n.is_ground() {
+        "0".to_string()
+    } else {
+        sanitize(ckt.node_name(n))
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+fn wave(w: &SourceWave) -> String {
+    match w {
+        SourceWave::Dc(v) => format!("DC {v:.6}"),
+        SourceWave::Pulse(p) => format!(
+            "PULSE({} {} {} {} {} {} {})",
+            p.v1, p.v2, p.delay, p.rise, p.fall, p.width, p.period
+        ),
+        SourceWave::Pwl(points) => {
+            let mut s = String::from("PWL(");
+            for (i, (t, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{t:.6e} {v:.6}");
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Capacitor, DiodeParams, Diode, MosParams, Mosfet, Resistor, Vsource};
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource(Vsource::new("VDD", vdd, Circuit::GROUND, SourceWave::dc(3.3)));
+        c.add_vsource(Vsource::new(
+            "VIN",
+            inp,
+            Circuit::GROUND,
+            SourceWave::step(0.0, 3.3, 1e-9, 50e-12),
+        ));
+        c.add_resistor(Resistor::new("R1", vdd, out, 10e3));
+        c.add_capacitor(Capacitor::new("CL", out, Circuit::GROUND, 5e-15));
+        c.add_diode(Diode::new("D1", out, Circuit::GROUND, DiodeParams::new(1e-14)));
+        c.add_mosfet(Mosfet::new(
+            "M1",
+            MosPolarity::Nmos,
+            out,
+            inp,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosParams {
+                vt0: 0.7,
+                kp: 120e-6,
+                lambda: 0.05,
+                gamma: 0.0,
+                phi: 0.7,
+                w: 0.6e-6,
+                l: 0.35e-6,
+            },
+        ));
+        c
+    }
+
+    #[test]
+    fn export_contains_all_cards() {
+        let text = to_spice(&sample(), "test circuit");
+        assert!(text.starts_with("* test circuit\n"));
+        assert!(text.contains("R2_R1 vdd out"));
+        assert!(text.contains("PWL("));
+        assert!(text.contains(".model DM4 D(IS=1.000e-14"));
+        assert!(text.contains("LEVEL=1 VTO=0.700"));
+        assert!(text.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn pmos_vto_is_negative_in_export() {
+        let mut c = sample();
+        let d = c.node("out");
+        let g = c.node("in");
+        let vdd = c.node("vdd");
+        c.add_mosfet(Mosfet::new(
+            "M2",
+            MosPolarity::Pmos,
+            d,
+            g,
+            vdd,
+            vdd,
+            MosParams {
+                vt0: 0.8,
+                kp: 40e-6,
+                lambda: 0.05,
+                gamma: 0.0,
+                phi: 0.7,
+                w: 0.6e-6,
+                l: 0.35e-6,
+            },
+        ));
+        let text = to_spice(&c, "pmos");
+        assert!(text.contains("PMOS(LEVEL=1 VTO=-0.800"), "{text}");
+    }
+
+    #[test]
+    fn ground_renders_as_zero() {
+        let text = to_spice(&sample(), "gnd");
+        assert!(text.contains(" 0 "), "{text}");
+    }
+}

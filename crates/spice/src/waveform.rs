@@ -1,0 +1,310 @@
+//! Waveform storage and measurement.
+//!
+//! The delay measurements driving the paper's Table 1 are 50 %-crossing to
+//! 50 %-crossing propagation delays; a transition that never crosses inside
+//! the simulated window is reported as "stuck" (the paper's `sa-0`/`sa-1`
+//! table entries).
+
+use std::collections::HashMap;
+
+use crate::circuit::NodeId;
+
+/// Edge direction selector for crossing searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Upward crossing.
+    Rising,
+    /// Downward crossing.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A recorded multi-trace transient result.
+#[derive(Debug, Clone, Default)]
+pub struct Waveform {
+    time: Vec<f64>,
+    traces: HashMap<usize, Vec<f64>>,
+    source_currents: HashMap<usize, Vec<f64>>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform.
+    pub fn new() -> Self {
+        Waveform::default()
+    }
+
+    /// Appends a sample: time plus the voltage of every recorded node and
+    /// the current of every recorded source branch.
+    pub fn push_sample(
+        &mut self,
+        t: f64,
+        voltages: impl IntoIterator<Item = (NodeId, f64)>,
+        currents: impl IntoIterator<Item = (usize, f64)>,
+    ) {
+        self.time.push(t);
+        for (n, v) in voltages {
+            self.traces.entry(n.index()).or_default().push(v);
+        }
+        for (k, i) in currents {
+            self.source_currents.entry(k).or_default().push(i);
+        }
+    }
+
+    /// The time axis.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Voltage trace of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not recorded.
+    pub fn trace(&self, n: NodeId) -> &[f64] {
+        self.traces
+            .get(&n.index())
+            .expect("node was not recorded in this waveform")
+    }
+
+    /// Voltage trace of a node, if recorded.
+    pub fn trace_opt(&self, n: NodeId) -> Option<&[f64]> {
+        self.traces.get(&n.index()).map(|v| v.as_slice())
+    }
+
+    /// Branch-current trace of the `k`-th voltage source, if recorded.
+    pub fn source_current(&self, k: usize) -> Option<&[f64]> {
+        self.source_currents.get(&k).map(|v| v.as_slice())
+    }
+
+    /// All times at which `trace` crosses `level` in the given direction,
+    /// linearly interpolated, at or after `t_start`.
+    pub fn crossings(&self, n: NodeId, level: f64, edge: EdgeKind, t_start: f64) -> Vec<f64> {
+        let y = self.trace(n);
+        let mut out = Vec::new();
+        for i in 1..self.time.len() {
+            if self.time[i] < t_start {
+                continue;
+            }
+            let (y0, y1) = (y[i - 1], y[i]);
+            let rising = y0 < level && y1 >= level;
+            let falling = y0 > level && y1 <= level;
+            let hit = match edge {
+                EdgeKind::Rising => rising,
+                EdgeKind::Falling => falling,
+                EdgeKind::Any => rising || falling,
+            };
+            if hit {
+                let (t0, t1) = (self.time[i - 1], self.time[i]);
+                let frac = if (y1 - y0).abs() < f64::MIN_POSITIVE {
+                    0.0
+                } else {
+                    (level - y0) / (y1 - y0)
+                };
+                let t = t0 + frac * (t1 - t0);
+                if t >= t_start {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// First crossing, or `None` if the trace never crosses — the
+    /// "stuck-at" outcome in Table 1 terms.
+    pub fn first_crossing(
+        &self,
+        n: NodeId,
+        level: f64,
+        edge: EdgeKind,
+        t_start: f64,
+    ) -> Option<f64> {
+        self.crossings(n, level, edge, t_start).into_iter().next()
+    }
+
+    /// 50 %-to-50 % propagation delay from an input edge to the next output
+    /// edge.
+    ///
+    /// Returns `None` when the output never crosses: with an OBD defect
+    /// this is the hard-breakdown "stuck" regime.
+    pub fn propagation_delay(
+        &self,
+        input: NodeId,
+        input_edge: EdgeKind,
+        output: NodeId,
+        output_edge: EdgeKind,
+        half_level: f64,
+        t_start: f64,
+    ) -> Option<f64> {
+        let t_in = self.first_crossing(input, half_level, input_edge, t_start)?;
+        let t_out = self.first_crossing(output, half_level, output_edge, t_in)?;
+        Some(t_out - t_in)
+    }
+
+    /// Minimum and maximum of a trace over the whole window.
+    pub fn extrema(&self, n: NodeId) -> (f64, f64) {
+        let y = self.trace(n);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in y {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Value of a trace at an arbitrary time (linear interpolation, clamped
+    /// at the ends).
+    pub fn sample_at(&self, n: NodeId, t: f64) -> f64 {
+        let y = self.trace(n);
+        if self.time.is_empty() {
+            return 0.0;
+        }
+        if t <= self.time[0] {
+            return y[0];
+        }
+        if t >= *self.time.last().unwrap() {
+            return *y.last().unwrap();
+        }
+        // Binary search for the bracketing interval.
+        let idx = self.time.partition_point(|&tt| tt < t);
+        let (t0, t1) = (self.time[idx - 1], self.time[idx]);
+        let (y0, y1) = (y[idx - 1], y[idx]);
+        if t1 == t0 {
+            y1
+        } else {
+            y0 + (y1 - y0) * (t - t0) / (t1 - t0)
+        }
+    }
+
+    /// Final (last-sample) value of a trace.
+    pub fn final_value(&self, n: NodeId) -> f64 {
+        *self.trace(n).last().expect("empty waveform")
+    }
+
+    /// Writes the time axis plus the given node traces as CSV with header
+    /// names.
+    pub fn to_csv(&self, columns: &[(NodeId, &str)]) -> String {
+        let mut s = String::from("time");
+        for (_, name) in columns {
+            s.push(',');
+            s.push_str(name);
+        }
+        s.push('\n');
+        for i in 0..self.time.len() {
+            s.push_str(&format!("{:.6e}", self.time[i]));
+            for (n, _) in columns {
+                s.push_str(&format!(",{:.6e}", self.trace(*n)[i]));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_wave() -> (Waveform, NodeId) {
+        let mut c = crate::Circuit::new();
+        let n = c.node("x");
+        let mut w = Waveform::new();
+        // Triangle: rises 0..1 over 0..10, falls back to 0 at t=20.
+        for i in 0..=20 {
+            let t = i as f64;
+            let v = if t <= 10.0 { t / 10.0 } else { (20.0 - t) / 10.0 };
+            w.push_sample(t, [(n, v)], []);
+        }
+        (w, n)
+    }
+
+    #[test]
+    fn rising_and_falling_crossings() {
+        let (w, n) = ramp_wave();
+        let rises = w.crossings(n, 0.5, EdgeKind::Rising, 0.0);
+        let falls = w.crossings(n, 0.5, EdgeKind::Falling, 0.0);
+        assert_eq!(rises.len(), 1);
+        assert_eq!(falls.len(), 1);
+        assert!((rises[0] - 5.0).abs() < 1e-12);
+        assert!((falls[0] - 15.0).abs() < 1e-12);
+        assert_eq!(w.crossings(n, 0.5, EdgeKind::Any, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn t_start_filters_early_crossings() {
+        let (w, n) = ramp_wave();
+        assert!(w.first_crossing(n, 0.5, EdgeKind::Rising, 6.0).is_none());
+        assert!(w.first_crossing(n, 0.5, EdgeKind::Falling, 6.0).is_some());
+    }
+
+    #[test]
+    fn delay_measurement_between_two_nodes() {
+        let mut c = crate::Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let mut w = Waveform::new();
+        for i in 0..=100 {
+            let t = i as f64;
+            let va = if t >= 10.0 { 1.0 } else { 0.0 };
+            let vb = if t >= 30.0 { 0.0 } else { 1.0 };
+            w.push_sample(t, [(a, va), (b, vb)], []);
+        }
+        let d = w
+            .propagation_delay(a, EdgeKind::Rising, b, EdgeKind::Falling, 0.5, 0.0)
+            .unwrap();
+        assert!((d - 20.0).abs() < 1.1, "delay = {d}");
+    }
+
+    #[test]
+    fn stuck_output_yields_none() {
+        let mut c = crate::Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let mut w = Waveform::new();
+        for i in 0..=10 {
+            let t = i as f64;
+            let va = if t >= 2.0 { 1.0 } else { 0.0 };
+            w.push_sample(t, [(a, va), (b, 1.0)], []);
+        }
+        assert!(w
+            .propagation_delay(a, EdgeKind::Rising, b, EdgeKind::Falling, 0.5, 0.0)
+            .is_none());
+    }
+
+    #[test]
+    fn sample_at_interpolates() {
+        let (w, n) = ramp_wave();
+        assert!((w.sample_at(n, 2.5) - 0.25).abs() < 1e-12);
+        assert_eq!(w.sample_at(n, -1.0), 0.0);
+        assert_eq!(w.sample_at(n, 100.0), 0.0);
+    }
+
+    #[test]
+    fn extrema_and_final() {
+        let (w, n) = ramp_wave();
+        let (lo, hi) = w.extrema(n);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+        assert_eq!(w.final_value(n), 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let (w, n) = ramp_wave();
+        let csv = w.to_csv(&[(n, "x")]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "time,x");
+        assert_eq!(csv.lines().count(), 22);
+    }
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the OBD reproduction suite.
+//!
+//! Re-exports every member crate under a short alias so the examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for full documentation:
+//!
+//! * [`linalg`] — dense LU kernel for MNA.
+//! * [`spice`] — the analog circuit simulator.
+//! * [`logic`] — gate-level netlists and simulation.
+//! * [`cmos`] — transistor-level cell synthesis and expansion.
+//! * [`obd`] — the paper's OBD defect model (the core contribution).
+//! * [`atpg`] — two-pattern test generation and fault simulation.
+
+pub use obd_atpg as atpg;
+pub use obd_cmos as cmos;
+pub use obd_core as obd;
+pub use obd_linalg as linalg;
+pub use obd_logic as logic;
+pub use obd_spice as spice;

@@ -1,0 +1,146 @@
+//! End-to-end: a generated OBD test, verified in the *analog* domain.
+//!
+//! The ATPG works on the gate-level abstraction; this test closes the
+//! loop by expanding the circuit to transistors, injecting the physical
+//! diode-resistor defect, applying the generated two-pattern test as PWL
+//! sources and checking that the primary output is wrong at an early
+//! capture point (and right in the fault-free circuit).
+
+use obd_suite::atpg::fault::Fault;
+use obd_suite::atpg::twoframe::{GenOutcome, TwoFrameAtpg};
+use obd_suite::cmos::expand::expand;
+use obd_suite::cmos::TechParams;
+use obd_suite::logic::circuits::fig8_sum_circuit;
+use obd_suite::logic::value::Lv;
+use obd_suite::obd::faultmodel::{ObdFault, Polarity};
+use obd_suite::obd::injection::inject_obd;
+use obd_suite::obd::BreakdownStage;
+use obd_suite::spice::analysis::tran::{transient_with_options, TranParams};
+use obd_suite::spice::devices::SourceWave;
+use obd_suite::spice::SimOptions;
+
+/// Applies a two-pattern test to the expanded circuit, returning the sum
+/// voltage at the capture time.
+fn analog_capture_voltage(
+    tech: &TechParams,
+    defect: Option<&ObdFault>,
+    v1: &[bool],
+    v2: &[bool],
+    capture_after_ps: f64,
+) -> f64 {
+    let nl = fig8_sum_circuit();
+    let mut exp = expand(&nl, tech).expect("expansion");
+    if let Some(f) = defect {
+        let params = f.stage.params(f.polarity).expect("ladder");
+        let tr = exp.find_transistors(f.gate, f.pin, f.polarity.mos())[0];
+        inject_obd(&mut exp.circuit, tr.device, params, "e2e").expect("injection");
+    }
+    let launch = 500e-12;
+    for (i, &pi) in nl.inputs().iter().enumerate() {
+        let lvl = |b: bool| if b { tech.vdd } else { 0.0 };
+        let wave = if v1[i] == v2[i] {
+            SourceWave::dc(lvl(v1[i]))
+        } else {
+            SourceWave::step(lvl(v1[i]), lvl(v2[i]), launch, 50e-12)
+        };
+        exp.drive_input(pi, wave);
+    }
+    let capture = launch + capture_after_ps * 1e-12;
+    let wave = transient_with_options(
+        &exp.circuit,
+        &TranParams::new(6e-12, capture + 200e-12),
+        &SimOptions::new(),
+    )
+    .expect("transient");
+    wave.sample_at(exp.node(nl.outputs()[0]), capture)
+}
+
+#[test]
+fn generated_test_fails_the_defective_circuit_in_analog() {
+    let tech = TechParams::date05();
+    let nl = fig8_sum_circuit();
+    // A testable defect with a big delay signature: PMOS at gate g6.
+    let g6 = nl.driver(nl.find_net("g6").expect("net")).expect("driver");
+    let fault = ObdFault {
+        gate: g6,
+        pin: 0,
+        polarity: Polarity::Pmos,
+        stage: BreakdownStage::Mbd2,
+    };
+    let mut atpg = TwoFrameAtpg::new(&nl).expect("atpg");
+    let test = match atpg.generate(&Fault::Obd(fault)).expect("generation") {
+        GenOutcome::Test(t) => t,
+        other => panic!("expected a test, got {other:?}"),
+    };
+    let v1: Vec<bool> = test.v1.iter().map(|&v| v == Lv::One).collect();
+    let v2: Vec<bool> = test.v2.iter().map(|&v| v == Lv::One).collect();
+
+    // Expected good value of the sum under v2.
+    let expected = v2.iter().fold(false, |acc, &b| acc ^ b);
+    let half = tech.half_vdd();
+    // Capture early enough that the defect's extra delay matters, late
+    // enough that the fault-free circuit has settled: 1.5x the circuit's
+    // fault-free settle estimate (9 stages ~ 1.2 ns).
+    let capture_ps = 1600.0;
+
+    let good_v = analog_capture_voltage(&tech, None, &v1, &v2, capture_ps);
+    let good_bit = good_v > half;
+    assert_eq!(
+        good_bit, expected,
+        "fault-free circuit must produce the correct sum at capture ({good_v:.2} V)"
+    );
+
+    let bad_v = analog_capture_voltage(&tech, Some(&fault), &v1, &v2, capture_ps);
+    let bad_bit = bad_v > half;
+    assert_ne!(
+        bad_bit, expected,
+        "defective circuit must fail the test at capture ({bad_v:.2} V)"
+    );
+}
+
+#[test]
+fn same_test_passes_when_defect_is_absent_or_masked() {
+    let tech = TechParams::date05();
+    let nl = fig8_sum_circuit();
+    let g6 = nl.driver(nl.find_net("g6").expect("net")).expect("driver");
+    // The masked situation: the SAME physical defect, but a sequence that
+    // switches the *other* input of g6 cannot expose it. Use the ATPG test
+    // for pin 1 and inject the pin-0 defect.
+    let fault_pin1 = ObdFault {
+        gate: g6,
+        pin: 1,
+        polarity: Polarity::Pmos,
+        stage: BreakdownStage::Mbd2,
+    };
+    let fault_pin0 = ObdFault {
+        pin: 0,
+        ..fault_pin1
+    };
+    let mut atpg = TwoFrameAtpg::new(&nl).expect("atpg");
+    let test = match atpg.generate(&Fault::Obd(fault_pin1)).expect("generation") {
+        GenOutcome::Test(t) => t,
+        other => panic!("expected a test, got {other:?}"),
+    };
+    // The pin-1 test must not excite the pin-0 defect (input-specific
+    // excitation); check at the gate level first.
+    let sim = obd_suite::atpg::faultsim::FaultSimulator::new(&nl).expect("sim");
+    if sim
+        .detects(&Fault::Obd(fault_pin0), &test)
+        .expect("detection")
+    {
+        // The ATPG may legitimately have produced a test that also covers
+        // pin 0 (shared falling sequences do that for NMOS; for PMOS this
+        // would mean the test switches both pins). Nothing to verify then.
+        return;
+    }
+    let v1: Vec<bool> = test.v1.iter().map(|&v| v == Lv::One).collect();
+    let v2: Vec<bool> = test.v2.iter().map(|&v| v == Lv::One).collect();
+    let expected = v2.iter().fold(false, |acc, &b| acc ^ b);
+    let half = tech.half_vdd();
+    let v = analog_capture_voltage(&tech, Some(&fault_pin0), &v1, &v2, 1600.0);
+    assert_eq!(
+        v > half,
+        expected,
+        "masked defect must not corrupt the captured sum ({v:.2} V)"
+    );
+}
