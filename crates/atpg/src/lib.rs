@@ -67,6 +67,7 @@ pub mod generate;
 pub mod ndetect;
 pub mod podem;
 pub mod random;
+pub mod rng;
 pub mod scan;
 pub mod scoap;
 pub mod testfile;

@@ -2,18 +2,17 @@
 //! paper shows to be insufficient for PMOS OBD defects.
 
 use obd_logic::value::Lv;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::fault::TwoPatternTest;
+use crate::rng::XorShift64Star;
 
 /// Uniformly random two-pattern tests.
 pub fn random_two_pattern(n_inputs: usize, count: usize, seed: u64) -> Vec<TwoPatternTest> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen())).collect();
-            let v2: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen())).collect();
+            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen_bool())).collect();
+            let v2: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen_bool())).collect();
             TwoPatternTest { v1, v2 }
         })
         .collect()
@@ -23,12 +22,12 @@ pub fn random_two_pattern(n_inputs: usize, count: usize, seed: u64) -> Vec<TwoPa
 /// in exactly one randomly chosen position — a common constraint of scan
 /// based two-pattern delivery.
 pub fn single_input_change(n_inputs: usize, count: usize, seed: u64) -> Vec<TwoPatternTest> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen())).collect();
+            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen_bool())).collect();
             let mut v2 = v1.clone();
-            let flip = rng.gen_range(0..n_inputs);
+            let flip = rng.gen_range(n_inputs);
             v2[flip] = !v2[flip];
             TwoPatternTest { v1, v2 }
         })
@@ -43,8 +42,8 @@ pub fn weighted_two_pattern(
     one_probability: f64,
     seed: u64,
 ) -> Vec<TwoPatternTest> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let bit = |rng: &mut StdRng| Lv::from_bool(rng.gen_bool(one_probability));
+    let mut rng = XorShift64Star::seed_from_u64(seed);
+    let bit = |rng: &mut XorShift64Star| Lv::from_bool(rng.gen_bool_p(one_probability));
     (0..count)
         .map(|_| {
             let v1: Vec<Lv> = (0..n_inputs).map(|_| bit(&mut rng)).collect();

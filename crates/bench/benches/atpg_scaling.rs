@@ -2,37 +2,31 @@
 //! Prints the scaling table once, then times both flows on a mid-size
 //! adder.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use obd_atpg::fault::DetectionCriterion;
 use obd_atpg::generate::{generate_obd_tests, generate_stuck_at_tests};
 use obd_bench::experiments::scaling;
+use obd_bench::timing::{bench_with, header, BenchOpts};
 use obd_core::BreakdownStage;
 use obd_logic::circuits::ripple_carry_adder;
 
-fn bench_atpg(c: &mut Criterion) {
+fn main() {
     match scaling::run(&[2, 4, 8, 16], &[8, 16]) {
         Ok(points) => println!("\n{}", scaling::render(&points)),
         Err(e) => eprintln!("scaling artifact failed: {e}"),
     }
     let nl = ripple_carry_adder(8);
-    let mut group = c.benchmark_group("atpg");
-    group.sample_size(10);
-    group.bench_function("stuck_at_rca8", |b| {
-        b.iter(|| generate_stuck_at_tests(&nl).expect("atpg"))
+    let opts = BenchOpts::heavy();
+    header("atpg");
+    bench_with("stuck_at_rca8", &opts, || {
+        generate_stuck_at_tests(&nl).expect("atpg")
     });
-    group.bench_function("obd_rca8", |b| {
-        b.iter(|| {
-            generate_obd_tests(
-                &nl,
-                BreakdownStage::Mbd2,
-                &DetectionCriterion::ideal(),
-                false,
-            )
-            .expect("atpg")
-        })
+    bench_with("obd_rca8", &opts, || {
+        generate_obd_tests(
+            &nl,
+            BreakdownStage::Mbd2,
+            &DetectionCriterion::ideal(),
+            false,
+        )
+        .expect("atpg")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_atpg);
-criterion_main!(benches);

@@ -2,29 +2,23 @@
 //! times the window computation (the operation a fault-tolerance
 //! scheduler would run per defect class).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use obd_bench::experiments::window;
+use obd_bench::timing::{bench, header};
 use obd_core::characterize::DelayTable;
 use obd_core::faultmodel::Polarity;
 use obd_core::progression::ProgressionModel;
 use obd_core::window::detection_window;
 
-fn bench_window(c: &mut Criterion) {
+fn main() {
     let table = DelayTable::paper();
     let rows = window::run(&table, &[5.0, 25.0, 100.0, 400.0]);
     println!("\n{}", window::render(&rows));
 
     let prog = ProgressionModel::reference(Polarity::Nmos);
-    let mut group = c.benchmark_group("window");
-    group.bench_function("detection_window_single", |b| {
-        b.iter(|| detection_window(&table, &prog, Polarity::Nmos, 40.0))
+    header("window");
+    bench("detection_window_single", || {
+        detection_window(&table, &prog, Polarity::Nmos, 40.0)
     });
-    group.bench_function("slack_sweep_100pts", |b| {
-        let slacks: Vec<f64> = (1..=100).map(|k| 4.0 * k as f64).collect();
-        b.iter(|| window::run(&table, &slacks))
-    });
-    group.finish();
+    let slacks: Vec<f64> = (1..=100).map(|k| 4.0 * k as f64).collect();
+    bench("slack_sweep_100pts", || window::run(&table, &slacks));
 }
-
-criterion_group!(benches, bench_window);
-criterion_main!(benches);

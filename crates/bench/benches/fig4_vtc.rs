@@ -1,33 +1,24 @@
 //! E1 — Fig. 4 benchmark: prints the VTC summary once, then times one DC
 //! sweep of the defective inverter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use obd_bench::experiments::fig4;
+use obd_bench::timing::{bench, header};
 use obd_cmos::TechParams;
 use obd_core::characterize::inverter_vtc;
 use obd_core::faultmodel::Polarity;
 use obd_core::BreakdownStage;
 
-fn bench_vtc(c: &mut Criterion) {
+fn main() {
     let tech = TechParams::date05();
     match fig4::run(&tech, Polarity::Nmos, 34) {
         Ok(curves) => println!("\n{}", fig4::summary(&curves)),
         Err(e) => eprintln!("fig4 artifact failed: {e}"),
     }
-    let mut group = c.benchmark_group("fig4");
-    group.sample_size(20);
-    group.bench_function("vtc_sweep_34pts_mbd2", |b| {
-        b.iter(|| {
-            inverter_vtc(&tech, Polarity::Nmos, BreakdownStage::Mbd2, 34).expect("sweep")
-        })
+    header("fig4");
+    bench("vtc_sweep_34pts_mbd2", || {
+        inverter_vtc(&tech, Polarity::Nmos, BreakdownStage::Mbd2, 34).expect("sweep")
     });
-    group.bench_function("vtc_sweep_34pts_fault_free", |b| {
-        b.iter(|| {
-            inverter_vtc(&tech, Polarity::Nmos, BreakdownStage::FaultFree, 34).expect("sweep")
-        })
+    bench("vtc_sweep_34pts_fault_free", || {
+        inverter_vtc(&tech, Polarity::Nmos, BreakdownStage::FaultFree, 34).expect("sweep")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_vtc);
-criterion_main!(benches);

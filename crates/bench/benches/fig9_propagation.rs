@@ -1,8 +1,8 @@
 //! E5 — Fig. 9 benchmark: prints the propagation table once, then times
 //! one full-circuit analog run of the 25-gate sum network.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use obd_bench::experiments::fig9;
+use obd_bench::timing::{bench_with, header, BenchOpts};
 use obd_cmos::expand::expand;
 use obd_cmos::TechParams;
 use obd_core::BreakdownStage;
@@ -11,7 +11,7 @@ use obd_spice::analysis::tran::{transient_with_options, TranParams};
 use obd_spice::devices::SourceWave;
 use obd_spice::SimOptions;
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     let tech = TechParams::date05();
     let mut cfg = obd_bench::quick_bench_config();
     cfg.step_ps = 6.0;
@@ -22,35 +22,22 @@ fn bench_fig9(c: &mut Criterion) {
     }
 
     let nl = fig8_sum_circuit();
-    let mut group = c.benchmark_group("fig9");
-    group.sample_size(10);
-    group.bench_function("full_adder_analog_3ns_at_6ps", |b| {
-        b.iter_batched(
-            || {
-                let mut exp = expand(&nl, &tech).expect("expand");
-                for (i, &pi) in nl.inputs().iter().enumerate() {
-                    let wave = if i == 0 {
-                        SourceWave::step(0.0, tech.vdd, 0.5e-9, 50e-12)
-                    } else {
-                        SourceWave::dc(0.0)
-                    };
-                    exp.drive_input(pi, wave);
-                }
-                exp
-            },
-            |exp| {
-                transient_with_options(
-                    &exp.circuit,
-                    &TranParams::new(6e-12, 3.5e-9),
-                    &SimOptions::new(),
-                )
-                .expect("tran")
-            },
-            criterion::BatchSize::SmallInput,
+    let mut exp = expand(&nl, &tech).expect("expand");
+    for (i, &pi) in nl.inputs().iter().enumerate() {
+        let wave = if i == 0 {
+            SourceWave::step(0.0, tech.vdd, 0.5e-9, 50e-12)
+        } else {
+            SourceWave::dc(0.0)
+        };
+        exp.drive_input(pi, wave);
+    }
+    header("fig9");
+    bench_with("full_adder_analog_3ns_at_6ps", &BenchOpts::heavy(), || {
+        transient_with_options(
+            &exp.circuit,
+            &TranParams::new(6e-12, 3.5e-9),
+            &SimOptions::new(),
         )
+        .expect("tran")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -2,17 +2,17 @@
 //! the exhaustive detection-matrix construction and the set-cover
 //! extraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use obd_atpg::compact::{exact_cover, greedy_cover};
 use obd_atpg::fault::{obd_faults, DetectionCriterion};
 use obd_atpg::faultsim::FaultSimulator;
 use obd_atpg::random::exhaustive_two_pattern;
 use obd_bench::experiments::stats;
+use obd_bench::timing::{bench, header};
 use obd_core::characterize::DelayTable;
 use obd_core::BreakdownStage;
 use obd_logic::circuits::fig8_sum_circuit;
 
-fn bench_stats(c: &mut Criterion) {
+fn main() {
     match stats::run(BreakdownStage::Mbd2) {
         Ok(s) => println!("\n{}", stats::render(&s)),
         Err(e) => eprintln!("stats artifact failed: {e}"),
@@ -20,27 +20,15 @@ fn bench_stats(c: &mut Criterion) {
     let nl = fig8_sum_circuit();
     let faults = obd_faults(&nl, BreakdownStage::Mbd2, true);
     let tests = exhaustive_two_pattern(3);
-    let sim = FaultSimulator::with_criterion(
-        &nl,
-        DelayTable::paper(),
-        DetectionCriterion::ideal(),
-    )
-    .expect("simulator");
+    let sim = FaultSimulator::with_criterion(&nl, DelayTable::paper(), DetectionCriterion::ideal())
+        .expect("simulator");
     let matrix = sim.detection_matrix(&faults, &tests).expect("matrix");
     let coverable = vec![true; faults.len()];
 
-    let mut group = c.benchmark_group("fulladder_stats");
-    group.bench_function("detection_matrix_56x56", |b| {
-        b.iter(|| sim.detection_matrix(&faults, &tests).expect("matrix"))
+    header("fulladder_stats");
+    bench("detection_matrix_56x56", || {
+        sim.detection_matrix(&faults, &tests).expect("matrix")
     });
-    group.bench_function("greedy_cover", |b| {
-        b.iter(|| greedy_cover(&matrix, &coverable))
-    });
-    group.bench_function("exact_cover", |b| {
-        b.iter(|| exact_cover(&matrix, &coverable, 2_000_000))
-    });
-    group.finish();
+    bench("greedy_cover", || greedy_cover(&matrix, &coverable));
+    bench("exact_cover", || exact_cover(&matrix, &coverable, 2_000_000));
 }
-
-criterion_group!(benches, bench_stats);
-criterion_main!(benches);

@@ -1,32 +1,31 @@
 //! Digital-substrate kernels: levelized 3-valued simulation, 64-way
 //! parallel-pattern simulation and event-driven timing simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use obd_atpg::rng::XorShift64Star;
+use obd_bench::timing::{bench, header};
 use obd_logic::circuits::ripple_carry_adder;
 use obd_logic::parallel::{simulate_block_with_order, PatternBlock};
 use obd_logic::sim::simulate_with_order;
 use obd_logic::timing::{timing_simulate, DelayModel, InputEvent};
 use obd_logic::value::Lv;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn bench_logic(c: &mut Criterion) {
+fn main() {
     let nl = ripple_carry_adder(16);
     let order = nl.levelize().expect("acyclic");
     let n = nl.inputs().len();
-    let mut rng = StdRng::seed_from_u64(7);
-    let vector: Vec<Lv> = (0..n).map(|_| Lv::from_bool(rng.gen())).collect();
+    let mut rng = XorShift64Star::seed_from_u64(7);
+    let vector: Vec<Lv> = (0..n).map(|_| Lv::from_bool(rng.gen_bool())).collect();
     let block_vectors: Vec<Vec<Lv>> = (0..64)
-        .map(|_| (0..n).map(|_| Lv::from_bool(rng.gen())).collect())
+        .map(|_| (0..n).map(|_| Lv::from_bool(rng.gen_bool())).collect())
         .collect();
     let block = PatternBlock::pack(&block_vectors);
 
-    let mut group = c.benchmark_group("logic_sim");
-    group.bench_function("scalar_rca16", |b| {
-        b.iter(|| simulate_with_order(&nl, &order, &vector).expect("sim"))
+    header("logic_sim");
+    bench("scalar_rca16", || {
+        simulate_with_order(&nl, &order, &vector).expect("sim")
     });
-    group.bench_function("parallel64_rca16", |b| {
-        b.iter(|| simulate_block_with_order(&nl, &order, &block).expect("sim"))
+    bench("parallel64_rca16", || {
+        simulate_block_with_order(&nl, &order, &block).expect("sim")
     });
 
     let delays = DelayModel::uniform(100.0, 110.0);
@@ -42,11 +41,7 @@ fn bench_logic(c: &mut Criterion) {
             value: Lv::One,
         })
         .collect();
-    group.bench_function("timing_rca16_8_events", |b| {
-        b.iter(|| timing_simulate(&nl, &delays, &initial, &events).expect("timing"))
+    bench("timing_rca16_8_events", || {
+        timing_simulate(&nl, &delays, &initial, &events).expect("timing")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_logic);
-criterion_main!(benches);

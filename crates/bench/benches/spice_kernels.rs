@@ -1,9 +1,9 @@
-//! Kernels of the analog substrate: LU factorization, operating point,
-//! transient integration (including the backward-Euler vs trapezoidal
-//! ablation called out in DESIGN.md).
+//! Kernels of the analog substrate: LU factorization (one-shot and
+//! workspace-reusing), operating point, transient integration (including
+//! the backward-Euler vs trapezoidal ablation called out in DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use obd_linalg::{solve_refined, Matrix};
+use obd_bench::timing::{bench, bench_with, black_box, header, BenchOpts};
+use obd_linalg::{solve_refined, LuWorkspace, Matrix};
 use obd_spice::analysis::op::operating_point;
 use obd_spice::analysis::tran::{transient_with_options, TranParams};
 use obd_spice::devices::{Capacitor, Resistor, SourceWave, Vsource};
@@ -43,58 +43,54 @@ fn rc_ladder(stages: usize) -> Circuit {
     ckt
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg");
+fn bench_lu() {
+    header("linalg");
     for n in [8usize, 32, 64] {
         let (m, b) = lu_matrix(n);
-        group.bench_function(format!("solve_refined_{n}x{n}"), |bench| {
-            bench.iter(|| solve_refined(&m, &b).expect("nonsingular"))
+        bench(&format!("solve_refined_{n}x{n} (alloc per call)"), || {
+            solve_refined(&m, &b).expect("nonsingular")
+        });
+        let mut ws = LuWorkspace::with_order(n);
+        let mut x = vec![0.0; n];
+        bench(&format!("workspace_solve_{n}x{n} (buffers reused)"), || {
+            ws.solve_refined_into(&m, &b, &mut x).expect("nonsingular");
+            black_box(x[0])
         });
     }
-    group.finish();
 }
 
-fn bench_op(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spice_op");
+fn bench_op() {
+    header("spice_op");
     let bench5 = obd_core::characterize::Fig5Bench::new();
     let tech = obd_cmos::TechParams::date05();
-    group.bench_function("fig5_bench_operating_point", |b| {
-        b.iter_batched(
-            || {
-                let mut exp = obd_cmos::expand::expand(&bench5.netlist, &tech).expect("expand");
-                exp.drive_input(bench5.pis[0], SourceWave::dc(0.0));
-                exp.drive_input(bench5.pis[1], SourceWave::dc(tech.vdd));
-                exp
-            },
-            |exp| operating_point(&exp.circuit, &SimOptions::new()).expect("op"),
-            BatchSize::SmallInput,
-        )
+    let mut exp = obd_cmos::expand::expand(&bench5.netlist, &tech).expect("expand");
+    exp.drive_input(bench5.pis[0], SourceWave::dc(0.0));
+    exp.drive_input(bench5.pis[1], SourceWave::dc(tech.vdd));
+    bench("fig5_bench_operating_point", || {
+        operating_point(&exp.circuit, &SimOptions::new()).expect("op")
     });
-    group.finish();
 }
 
-fn bench_transient(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spice_tran");
-    group.sample_size(20);
+fn bench_transient() {
+    header("spice_tran");
     let ckt = rc_ladder(10);
-    group.bench_function("rc10_trapezoidal_5ns_at_10ps", |b| {
-        b.iter(|| {
-            transient_with_options(&ckt, &TranParams::new(10e-12, 5e-9), &SimOptions::new())
-                .expect("tran")
-        })
-    });
-    group.bench_function("rc10_backward_euler_5ns_at_10ps", |b| {
-        b.iter(|| {
-            transient_with_options(
-                &ckt,
-                &TranParams::new(10e-12, 5e-9).with_backward_euler(),
-                &SimOptions::new(),
-            )
+    let opts = BenchOpts::heavy();
+    bench_with("rc10_trapezoidal_5ns_at_10ps", &opts, || {
+        transient_with_options(&ckt, &TranParams::new(10e-12, 5e-9), &SimOptions::new())
             .expect("tran")
-        })
     });
-    group.finish();
+    bench_with("rc10_backward_euler_5ns_at_10ps", &opts, || {
+        transient_with_options(
+            &ckt,
+            &TranParams::new(10e-12, 5e-9).with_backward_euler(),
+            &SimOptions::new(),
+        )
+        .expect("tran")
+    });
 }
 
-criterion_group!(benches, bench_lu, bench_op, bench_transient);
-criterion_main!(benches);
+fn main() {
+    bench_lu();
+    bench_op();
+    bench_transient();
+}

@@ -2,8 +2,8 @@
 //! (the artifact), then times the underlying single-transition
 //! measurement for the fault-free and defective NAND.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use obd_bench::quick_bench_config;
+use obd_bench::timing::{bench_with, header, BenchOpts};
 use obd_cmos::TechParams;
 use obd_core::characterize::{measure_transition, BenchDefect};
 use obd_core::faultmodel::Polarity;
@@ -17,53 +17,43 @@ fn print_artifact() {
     }
 }
 
-fn bench_measurements(c: &mut Criterion) {
+fn main() {
     print_artifact();
     let tech = TechParams::date05();
     let cfg = quick_bench_config();
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.bench_function("fault_free_fall", |b| {
-        b.iter(|| {
-            measure_transition(&tech, None, [false, true], [true, true], &cfg).expect("measure")
-        })
+    let opts = BenchOpts::heavy();
+    header("table1");
+    bench_with("fault_free_fall", &opts, || {
+        measure_transition(&tech, None, [false, true], [true, true], &cfg).expect("measure")
     });
     let nmos = BreakdownStage::Mbd2.params(Polarity::Nmos).expect("ladder");
-    group.bench_function("nmos_mbd2_fall", |b| {
-        b.iter(|| {
-            measure_transition(
-                &tech,
-                Some(BenchDefect {
-                    pin: 0,
-                    polarity: Polarity::Nmos,
-                    params: nmos,
-                }),
-                [false, true],
-                [true, true],
-                &cfg,
-            )
-            .expect("measure")
-        })
+    bench_with("nmos_mbd2_fall", &opts, || {
+        measure_transition(
+            &tech,
+            Some(BenchDefect {
+                pin: 0,
+                polarity: Polarity::Nmos,
+                params: nmos,
+            }),
+            [false, true],
+            [true, true],
+            &cfg,
+        )
+        .expect("measure")
     });
     let pmos = BreakdownStage::Mbd2.params(Polarity::Pmos).expect("ladder");
-    group.bench_function("pmos_mbd2_rise", |b| {
-        b.iter(|| {
-            measure_transition(
-                &tech,
-                Some(BenchDefect {
-                    pin: 0,
-                    polarity: Polarity::Pmos,
-                    params: pmos,
-                }),
-                [true, true],
-                [false, true],
-                &cfg,
-            )
-            .expect("measure")
-        })
+    bench_with("pmos_mbd2_rise", &opts, || {
+        measure_transition(
+            &tech,
+            Some(BenchDefect {
+                pin: 0,
+                polarity: Polarity::Pmos,
+                params: pmos,
+            }),
+            [true, true],
+            [false, true],
+            &cfg,
+        )
+        .expect("measure")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_measurements);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper as text/CSV artifacts.
 //!
 //! ```text
-//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq]
+//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench]
 //! ```
 //!
 //! Artifacts are written to `results/` in the current directory; a summary
@@ -11,8 +11,8 @@ use std::fs;
 use std::path::Path;
 
 use obd_bench::experiments::{
-    bist_eval, clock_sweep, em_contrast, excitation, fig4, fig9, iddq, scaling, scan_eval, stats,
-    table1, tpg_compare, variation, waveforms, window,
+    bist_eval, clock_sweep, em_contrast, excitation, fig4, fig9, iddq, scaling, scan_eval,
+    spice_bench, stats, table1, tpg_compare, variation, waveforms, window,
 };
 use obd_cmos::TechParams;
 use obd_core::characterize::{BenchConfig, DelayTable};
@@ -287,6 +287,17 @@ fn run_variation() {
     }
 }
 
+fn run_spice_bench(tech: &TechParams) {
+    println!("== Perf: analog-engine throughput (BENCH_spice.json) ==");
+    match spice_bench::run(tech, &BenchConfig::table1()) {
+        Ok(r) => {
+            println!("{}", spice_bench::render(&r));
+            save("BENCH_spice.json", &spice_bench::to_json(&r));
+        }
+        Err(e) => eprintln!("  error: {e}"),
+    }
+}
+
 fn run_scaling() {
     println!("== E9: ATPG complexity scaling ==");
     match scaling::run(&[2, 4, 8, 16, 24], &[8, 16, 32]) {
@@ -352,15 +363,18 @@ fn main() {
     if all || arg == "scaling" {
         run_scaling();
     }
+    if all || arg == "bench" {
+        run_spice_bench(&tech);
+    }
     if !all
         && ![
             "excitation", "em", "window", "stats", "tpg", "fig4", "table1", "fig6", "fig7",
-            "fig9", "scaling", "iddq", "bist", "clock", "scan", "variation",
+            "fig9", "scaling", "iddq", "bist", "clock", "scan", "variation", "bench",
         ]
         .contains(&arg.as_str())
     {
         eprintln!(
-            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq"
+            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench"
         );
         std::process::exit(2);
     }

@@ -9,6 +9,7 @@ pub mod iddq;
 pub mod fig9;
 pub mod scaling;
 pub mod scan_eval;
+pub mod spice_bench;
 pub mod stats;
 pub mod table1;
 pub mod tpg_compare;

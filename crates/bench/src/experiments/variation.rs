@@ -12,9 +12,8 @@
 use obd_cmos::TechParams;
 use obd_core::characterize::{measure_transition, BenchConfig, BenchDefect, TransitionOutcome};
 use obd_core::faultmodel::Polarity;
+use obd_atpg::rng::XorShift64Star;
 use obd_core::{BreakdownStage, ObdError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Monte Carlo statistics of the fault-free delay plus per-stage defect
 /// shifts.
@@ -32,10 +31,12 @@ pub struct VariationReport {
 
 /// Perturbs the technology: ±`spread` relative 1-sigma on Vt, KP and W,
 /// clamped to physical ranges.
-fn perturb(tech: &TechParams, rng: &mut StdRng, spread: f64) -> TechParams {
+fn perturb(tech: &TechParams, rng: &mut XorShift64Star, spread: f64) -> TechParams {
     let mut t = tech.clone();
     let mut jitter = |v: f64| -> f64 {
-        let g: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+        let g: f64 = rng.gen_range_f64(-1.0, 1.0)
+            + rng.gen_range_f64(-1.0, 1.0)
+            + rng.gen_range_f64(-1.0, 1.0);
         (v * (1.0 + spread * g / 1.732)).max(v * 0.5)
     };
     t.nmos_vt0 = jitter(t.nmos_vt0);
@@ -59,7 +60,7 @@ pub fn run(
     seed: u64,
 ) -> Result<VariationReport, ObdError> {
     let nominal = TechParams::date05();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let mut samples_ps = Vec::with_capacity(samples);
     for _ in 0..samples {
         let t = perturb(&nominal, &mut rng, spread);

@@ -2,8 +2,9 @@
 //! evaluation, each producing the same rows/series the paper reports.
 //!
 //! The `repro` binary drives these modules and writes text/CSV artifacts;
-//! the Criterion benches under `benches/` time the computational kernels
-//! behind each experiment.
+//! the plain-`main` benches under `benches/` time the computational
+//! kernels behind each experiment using the in-crate [`timing`] runner
+//! (`cargo bench --bench <name>`; no external harness crate).
 //!
 //! | Experiment | Paper artifact | Module |
 //! |---|---|---|
@@ -24,6 +25,7 @@
 //! | X8 | OBD shifts vs process variation | [`experiments::variation`] |
 
 pub mod experiments;
+pub mod timing;
 
 /// A fast-but-faithful bench configuration used by tests and CI-style
 /// runs; the `repro` binary uses the full-resolution defaults instead.
@@ -34,5 +36,6 @@ pub fn quick_bench_config() -> obd_core::characterize::BenchConfig {
         window_ps: 2500.0,
         step_ps: 4.0,
         at_speed_ps: Some(800.0),
+        sim_full_window: false,
     }
 }

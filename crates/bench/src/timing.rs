@@ -1,0 +1,197 @@
+//! A small wall-clock benchmark runner built on [`std::time::Instant`].
+//!
+//! The repo builds offline with no external crates, so the `benches/`
+//! binaries use this instead of a harness crate: calibrate an iteration
+//! count against a target sample duration, take a handful of samples,
+//! report the median (robust against scheduler noise), minimum and mean.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a measurement is taken.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    /// Minimum time spent warming up (and calibrating) before sampling.
+    pub warmup: Duration,
+    /// Number of timed samples; each sample runs `iters` calls.
+    pub samples: usize,
+    /// Target wall time per sample; iteration count is derived from it.
+    pub target_sample: Duration,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            warmup: Duration::from_millis(40),
+            samples: 7,
+            target_sample: Duration::from_millis(60),
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Settings for expensive benchmarks (full transients, ATPG runs):
+    /// fewer samples, shorter targets, so a whole suite stays interactive.
+    pub fn heavy() -> Self {
+        BenchOpts {
+            warmup: Duration::from_millis(10),
+            samples: 3,
+            target_sample: Duration::from_millis(150),
+        }
+    }
+}
+
+/// One benchmark's result: per-iteration nanoseconds for each sample.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    pub name: String,
+    pub iters_per_sample: u64,
+    /// ns per iteration, one entry per sample, sorted ascending.
+    pub sample_ns: Vec<f64>,
+}
+
+impl Stats {
+    /// Median ns/iteration — the headline number.
+    pub fn median_ns(&self) -> f64 {
+        let s = &self.sample_ns;
+        if s.is_empty() {
+            return f64::NAN;
+        }
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid]
+        } else {
+            0.5 * (s[mid - 1] + s[mid])
+        }
+    }
+
+    /// Fastest observed sample, ns/iteration.
+    pub fn min_ns(&self) -> f64 {
+        self.sample_ns.first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Mean ns/iteration across samples.
+    pub fn mean_ns(&self) -> f64 {
+        if self.sample_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.sample_ns.iter().sum::<f64>() / self.sample_ns.len() as f64
+    }
+
+    /// One formatted report line, aligned for terminal tables.
+    pub fn line(&self) -> String {
+        format!(
+            "  {:<44} {:>14}/iter  (min {}, mean {}, {} iters x {} samples)",
+            self.name,
+            fmt_ns(self.median_ns()),
+            fmt_ns(self.min_ns()),
+            fmt_ns(self.mean_ns()),
+            self.iters_per_sample,
+            self.sample_ns.len(),
+        )
+    }
+}
+
+/// Render nanoseconds with an auto-selected unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times `f` under `opts` and prints the report line.
+pub fn bench_with<R>(name: &str, opts: &BenchOpts, mut f: impl FnMut() -> R) -> Stats {
+    // Warmup doubles as calibration: run until the warmup budget is
+    // spent, tracking how long one call takes.
+    let warm_start = Instant::now();
+    let mut calls = 0u64;
+    loop {
+        black_box(f());
+        calls += 1;
+        if warm_start.elapsed() >= opts.warmup {
+            break;
+        }
+    }
+    let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+    let iters = ((opts.target_sample.as_secs_f64() / per_call.max(1e-12)) as u64).max(1);
+
+    let mut sample_ns = Vec::with_capacity(opts.samples);
+    for _ in 0..opts.samples.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        sample_ns.push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    sample_ns.sort_by(f64::total_cmp);
+    let stats = Stats {
+        name: name.to_string(),
+        iters_per_sample: iters,
+        sample_ns,
+    };
+    println!("{}", stats.line());
+    stats
+}
+
+/// Times `f` with the default options and prints the report line.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Stats {
+    bench_with(name, &BenchOpts::default(), f)
+}
+
+/// Prints the standard header for a bench binary.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let mk = |v: Vec<f64>| Stats {
+            name: "t".into(),
+            iters_per_sample: 1,
+            sample_ns: v,
+        };
+        assert_eq!(mk(vec![1.0, 2.0, 9.0]).median_ns(), 2.0);
+        assert_eq!(mk(vec![1.0, 3.0]).median_ns(), 2.0);
+        assert!(mk(vec![]).median_ns().is_nan());
+    }
+
+    #[test]
+    fn bench_runs_and_reports_positive_time() {
+        let opts = BenchOpts {
+            warmup: Duration::from_millis(1),
+            samples: 2,
+            target_sample: Duration::from_millis(2),
+        };
+        let s = bench_with("spin", &opts, || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(s.median_ns() > 0.0);
+        assert!(s.min_ns() <= s.mean_ns() * 1.0001);
+        assert_eq!(s.sample_ns.len(), 2);
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 us");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -1,0 +1,281 @@
+//! Memoization of characterization transients.
+//!
+//! Table 1 regeneration, delay-model annotation and the bench experiments
+//! all measure the same handful of `(technology, gate, defect, pattern)`
+//! transitions; each one costs a full transient. [`DelayCache`] keys the
+//! outcome on every input that can change it, so identical measurements
+//! run the analog engine exactly once — across threads too, since lookups
+//! go through a mutex.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use obd_cmos::TechParams;
+use obd_logic::netlist::GateKind;
+
+use crate::characterize::{measure_cell_transition, BenchConfig, BenchDefect, TransitionOutcome};
+use crate::faultmodel::Polarity;
+use crate::ObdError;
+
+/// FNV-1a over raw `f64` bits — a cheap, stable fingerprint for the
+/// floating-point parts of a cache key. Bit-exact equality is the right
+/// notion here: two techs that differ in any bit may measure differently.
+fn fnv_f64(hash: u64, v: f64) -> u64 {
+    let mut h = hash;
+    for b in v.to_bits().to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn tech_fingerprint(t: &TechParams) -> u64 {
+    [
+        t.vdd,
+        t.nmos_vt0,
+        t.nmos_kp,
+        t.pmos_vt0,
+        t.pmos_kp,
+        t.lambda,
+        t.length,
+        t.nmos_w,
+        t.pmos_w,
+        t.c_gate,
+        t.c_junction,
+        t.c_wire,
+    ]
+    .iter()
+    .fold(FNV_OFFSET, |h, &v| fnv_f64(h, v))
+}
+
+fn cfg_fingerprint(c: &BenchConfig) -> u64 {
+    let h = [c.edge_ps, c.launch_ps, c.window_ps, c.step_ps]
+        .iter()
+        .fold(FNV_OFFSET, |h, &v| fnv_f64(h, v));
+    match c.at_speed_ps {
+        Some(limit) => fnv_f64(h.wrapping_add(1), limit),
+        None => h,
+    }
+}
+
+/// Everything that determines a measurement outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    tech: u64,
+    cfg: u64,
+    kind: GateKind,
+    /// `(pin, polarity, isat bits, r_bd bits)`; `None` = fault-free.
+    defect: Option<(usize, Polarity, u64, u64)>,
+    v1: [bool; 2],
+    v2: [bool; 2],
+}
+
+impl CacheKey {
+    fn new(
+        tech: &TechParams,
+        kind: GateKind,
+        defect: Option<BenchDefect>,
+        v1: [bool; 2],
+        v2: [bool; 2],
+        cfg: &BenchConfig,
+    ) -> Self {
+        CacheKey {
+            tech: tech_fingerprint(tech),
+            cfg: cfg_fingerprint(cfg),
+            kind,
+            defect: defect.map(|d| {
+                (
+                    d.pin,
+                    d.polarity,
+                    d.params.isat.to_bits(),
+                    d.params.r_bd.to_bits(),
+                )
+            }),
+            v1,
+            v2,
+        }
+    }
+}
+
+/// A thread-safe memo table for characterization transients.
+///
+/// # Example
+///
+/// ```rust
+/// use obd_cmos::TechParams;
+/// use obd_core::cache::DelayCache;
+/// use obd_core::characterize::BenchConfig;
+///
+/// # fn main() -> Result<(), obd_core::ObdError> {
+/// let cache = DelayCache::new();
+/// let tech = TechParams::date05();
+/// let cfg = BenchConfig::new();
+/// let a = cache.measure(&tech, None, [false, true], [true, true], &cfg)?;
+/// let b = cache.measure(&tech, None, [false, true], [true, true], &cfg)?;
+/// assert_eq!(a, b);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct DelayCache {
+    map: Mutex<HashMap<CacheKey, TransitionOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DelayCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DelayCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Memoized [`measure_transition`](crate::characterize::measure_transition):
+    /// NAND2 device under test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors (errors are not cached).
+    pub fn measure(
+        &self,
+        tech: &TechParams,
+        defect: Option<BenchDefect>,
+        v1: [bool; 2],
+        v2: [bool; 2],
+        cfg: &BenchConfig,
+    ) -> Result<TransitionOutcome, ObdError> {
+        self.measure_cell(tech, GateKind::Nand, defect, v1, v2, cfg)
+    }
+
+    /// Memoized [`measure_cell_transition`] for any device-under-test
+    /// kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors (errors are not cached).
+    pub fn measure_cell(
+        &self,
+        tech: &TechParams,
+        kind: GateKind,
+        defect: Option<BenchDefect>,
+        v1: [bool; 2],
+        v2: [bool; 2],
+        cfg: &BenchConfig,
+    ) -> Result<TransitionOutcome, ObdError> {
+        let key = CacheKey::new(tech, kind, defect, v1, v2, cfg);
+        if let Some(&o) = self.map.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(o);
+        }
+        // The transient runs outside the lock so concurrent misses on
+        // *different* keys proceed in parallel; a duplicated concurrent
+        // miss on the same key just recomputes the identical outcome.
+        let o = measure_cell_transition(tech, kind, defect, v1, v2, cfg)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().expect("cache poisoned").insert(key, o);
+        Ok(o)
+    }
+
+    /// Number of lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran a transient.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct measurements stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::BreakdownStage;
+
+    fn fast_cfg() -> BenchConfig {
+        BenchConfig {
+            edge_ps: 50.0,
+            launch_ps: 500.0,
+            window_ps: 2500.0,
+            step_ps: 4.0,
+            at_speed_ps: None,
+            sim_full_window: false,
+        }
+    }
+
+    #[test]
+    fn repeat_measurements_hit_cache() {
+        let cache = DelayCache::new();
+        let tech = TechParams::date05();
+        let cfg = fast_cfg();
+        let first = cache
+            .measure(&tech, None, [false, true], [true, true], &cfg)
+            .unwrap();
+        for _ in 0..3 {
+            let again = cache
+                .measure(&tech, None, [false, true], [true, true], &cfg)
+                .unwrap();
+            assert_eq!(first, again);
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = DelayCache::new();
+        let tech = TechParams::date05();
+        let cfg = fast_cfg();
+        let ff = cache
+            .measure(&tech, None, [false, true], [true, true], &cfg)
+            .unwrap();
+        let defect = BenchDefect {
+            pin: 0,
+            polarity: Polarity::Nmos,
+            params: BreakdownStage::Mbd3.params(Polarity::Nmos).unwrap(),
+        };
+        let faulty = cache
+            .measure(&tech, Some(defect), [false, true], [true, true], &cfg)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        let (Some(a), Some(b)) = (ff.delay_ps(), faulty.delay_ps()) else {
+            panic!("both sequences must switch at MBD3: {ff:?} vs {faulty:?}");
+        };
+        assert!(b > a, "defect must slow the transition: {b} vs {a}");
+    }
+
+    #[test]
+    fn tech_perturbation_changes_key() {
+        let cache = DelayCache::new();
+        let cfg = fast_cfg();
+        let tech = TechParams::date05();
+        let mut tweaked = tech.clone();
+        tweaked.nmos_vt0 += 1e-6;
+        cache
+            .measure(&tech, None, [false, true], [true, true], &cfg)
+            .unwrap();
+        cache
+            .measure(&tweaked, None, [false, true], [true, true], &cfg)
+            .unwrap();
+        assert_eq!(cache.misses(), 2, "distinct techs must not share entries");
+    }
+}

@@ -178,6 +178,7 @@ mod tests {
             window_ps: 2200.0,
             step_ps: 6.0,
             at_speed_ps: None,
+            sim_full_window: false,
         }
     }
 

@@ -36,12 +36,15 @@
 //!   the progression state and the remaining safe-operation time.
 //! * [`annotate`] — feeding the characterized delays into the gate-level
 //!   timing simulator.
+//! * [`cache`] — memoization of characterization transients, so repeated
+//!   Table 1 / annotation measurements run the analog engine once.
 //! * [`em`] — the intra-gate electromigration fault model used as the §5
 //!   contrast.
 //! * [`complex`] — analog characterization of complex (AOI/OAI) cells,
 //!   §5's "especially for complex gates" case.
 
 pub mod annotate;
+pub mod cache;
 pub mod characterize;
 pub mod complex;
 pub mod em;
@@ -54,6 +57,7 @@ pub mod progression;
 pub mod stage;
 pub mod window;
 
+pub use cache::DelayCache;
 pub use error::ObdError;
 pub use faultmodel::{ObdFault, Polarity};
 pub use injection::{inject_obd, ObdInstance};

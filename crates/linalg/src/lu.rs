@@ -33,6 +33,126 @@ pub struct Lu {
 /// are treated as exact zeros, i.e. the matrix is reported singular.
 const PIVOT_REL_TOL: f64 = 1e-280;
 
+/// Relative residual (against `‖b‖_inf`) above which one step of iterative
+/// refinement runs. Newton iterations only need voltages to ~1 µV against
+/// volts-scale right-hand sides, so residuals below this threshold cannot
+/// move the converged answer; badly scaled MNA systems (milliohm breakdown
+/// paths against gigohm leakage) overshoot it by many orders of magnitude
+/// and still get refined.
+const REFINE_REL_TOL: f64 = 1e-9;
+
+/// Factors `packed` in place (crout-style, partial pivoting), recording
+/// row exchanges in `perm`. Returns the permutation sign.
+///
+/// Shared kernel behind [`Lu::factor`] and [`LuWorkspace::factor_into`].
+fn factor_in_place(packed: &mut Matrix, perm: &mut [usize]) -> Result<f64, LinalgError> {
+    let n = packed.rows();
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
+    let mut perm_sign = 1.0;
+    // One fused pass computes the pivot scale (infinity norm) and the
+    // finiteness check: a NaN/inf entry makes its row sum non-finite.
+    // (An absolute row sum can also overflow to inf from extreme finite
+    // entries near 1e308; such a matrix is beyond f64 factorization
+    // anyway, so reporting NonFinite for it is fair.)
+    let mut scale: f64 = 0.0;
+    for r in 0..n {
+        let row_sum: f64 = packed.row(r).iter().map(|x| x.abs()).sum();
+        if !row_sum.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        scale = scale.max(row_sum);
+    }
+    let tiny = scale.max(f64::MIN_POSITIVE) * PIVOT_REL_TOL;
+
+    for k in 0..n {
+        // Find pivot row.
+        let mut pivot_row = k;
+        let mut pivot_val = packed[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = packed[(r, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val <= tiny || !pivot_val.is_finite() {
+            return Err(LinalgError::Singular { column: k });
+        }
+        if pivot_row != k {
+            perm.swap(k, pivot_row);
+            perm_sign = -perm_sign;
+            packed.row_swap(k, pivot_row);
+        }
+        // Split once per pivot step: everything above row k+1 (read-only,
+        // holds the pivot row) and the trailing rows (updated in place).
+        // The inner loops then run on plain slices — no per-element index
+        // computation or bounds check, which dominates at MNA sizes
+        // (n ≈ 10–100) where each row is only a cache line or two.
+        let cols = n;
+        let data = packed.as_mut_slice();
+        let (top, bottom) = data.split_at_mut((k + 1) * cols);
+        let pivot_row = &top[k * cols..(k + 1) * cols];
+        let pivot = pivot_row[k];
+        for row in bottom.chunks_exact_mut(cols) {
+            let m = row[k] / pivot;
+            row[k] = m;
+            if m != 0.0 {
+                for (x, &u) in row[k + 1..].iter_mut().zip(&pivot_row[k + 1..]) {
+                    *x -= m * u;
+                }
+            }
+        }
+    }
+    Ok(perm_sign)
+}
+
+/// Permutes `b` by `perm` into `x`, then substitutes through the packed
+/// factors in place. `x` must already have length `n`.
+///
+/// Shared kernel behind [`Lu::solve`] and [`LuWorkspace::solve_into`].
+// Triangular substitution indexes `x` behind the write cursor, which
+// iterator adapters cannot express without a split borrow.
+#[allow(clippy::needless_range_loop)]
+fn solve_in_place(packed: &Matrix, perm: &[usize], b: &[f64], x: &mut [f64]) {
+    let n = perm.len();
+    for i in 0..n {
+        x[i] = b[perm[i]];
+    }
+    // Forward substitution with unit lower triangle; rows are walked as
+    // slices, keeping the accumulation order of the naive loops.
+    for r in 1..n {
+        let row = packed.row(r);
+        let mut acc = x[r];
+        for (&l, &xc) in row[..r].iter().zip(x.iter()) {
+            acc -= l * xc;
+        }
+        x[r] = acc;
+    }
+    // Back substitution with upper triangle.
+    for r in (0..n).rev() {
+        let row = packed.row(r);
+        let mut acc = x[r];
+        for (&u, &xc) in row[r + 1..].iter().zip(x[r + 1..].iter()) {
+            acc -= u * xc;
+        }
+        x[r] = acc / row[r];
+    }
+}
+
+/// Squareness is checked up front; finiteness is caught by
+/// [`factor_in_place`]'s fused norm pass, so no separate O(n²) scan runs.
+fn check_square(a: &Matrix) -> Result<(), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: a.rows(),
+            found: a.cols(),
+        });
+    }
+    Ok(())
+}
+
 impl Lu {
     /// Factors a square matrix.
     ///
@@ -43,59 +163,23 @@ impl Lu {
     /// * [`LinalgError::Singular`] if no acceptable pivot exists in some
     ///   column.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
-        if !a.is_square() {
-            return Err(LinalgError::DimensionMismatch {
-                expected: a.rows(),
-                found: a.cols(),
-            });
-        }
-        if !a.is_finite() {
-            return Err(LinalgError::NonFinite);
-        }
-        let n = a.rows();
-        let mut packed = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-        let scale = packed.norm_inf().max(f64::MIN_POSITIVE);
-        let tiny = scale * PIVOT_REL_TOL;
+        check_square(a)?;
+        Lu::factor_owned(a.clone())
+    }
 
-        for k in 0..n {
-            // Find pivot row.
-            let mut pivot_row = k;
-            let mut pivot_val = packed[(k, k)].abs();
-            for r in (k + 1)..n {
-                let v = packed[(r, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = r;
-                }
-            }
-            if pivot_val <= tiny || !pivot_val.is_finite() {
-                return Err(LinalgError::Singular { column: k });
-            }
-            if pivot_row != k {
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-                for c in 0..n {
-                    let tmp = packed[(k, c)];
-                    packed[(k, c)] = packed[(pivot_row, c)];
-                    packed[(pivot_row, c)] = tmp;
-                }
-            }
-            let pivot = packed[(k, k)];
-            for r in (k + 1)..n {
-                let m = packed[(r, k)] / pivot;
-                packed[(r, k)] = m;
-                if m != 0.0 {
-                    for c in (k + 1)..n {
-                        let u = packed[(k, c)];
-                        packed[(r, c)] -= m * u;
-                    }
-                }
-            }
-        }
+    /// Factors a matrix the caller no longer needs, reusing its storage
+    /// for the packed factors — no clone.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lu::factor`].
+    pub fn factor_owned(mut a: Matrix) -> Result<Self, LinalgError> {
+        check_square(&a)?;
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let perm_sign = factor_in_place(&mut a, &mut perm)?;
         Ok(Lu {
-            packed,
+            packed: a,
             perm,
             perm_sign,
         })
@@ -113,9 +197,6 @@ impl Lu {
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
     /// the matrix order, and [`LinalgError::NonFinite`] if the solve produces
     /// non-finite values (e.g. overflow from extreme scaling).
-    // Triangular substitution indexes `x` behind the write cursor, which
-    // iterator adapters cannot express without a split borrow.
-    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.order();
         if b.len() != n {
@@ -124,24 +205,8 @@ impl Lu {
                 found: b.len(),
             });
         }
-        // Apply permutation: y = P b.
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
-        // Forward substitution with unit lower triangle.
-        for r in 1..n {
-            let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.packed[(r, c)] * x[c];
-            }
-            x[r] = acc;
-        }
-        // Back substitution with upper triangle.
-        for r in (0..n).rev() {
-            let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc -= self.packed[(r, c)] * x[c];
-            }
-            x[r] = acc / self.packed[(r, r)];
-        }
+        let mut x = vec![0.0; n];
+        solve_in_place(&self.packed, &self.perm, b, &mut x);
         if x.iter().any(|v| !v.is_finite()) {
             return Err(LinalgError::NonFinite);
         }
@@ -201,28 +266,266 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     Lu::factor(a)?.solve(b)
 }
 
-/// Solves `A·x = b` with one step of iterative refinement, which recovers
-/// most of the accuracy lost to the extreme entry-magnitude spread of MNA
-/// matrices containing both milliohm breakdown paths and gigohm leakage
-/// conductances.
+/// Solves `A·x = b` with one step of iterative refinement when the
+/// residual demands it, recovering the accuracy lost to the extreme
+/// entry-magnitude spread of MNA matrices containing both milliohm
+/// breakdown paths and gigohm leakage conductances.
+///
+/// One-shot convenience over [`LuWorkspace::solve_refined_into`]; repeated
+/// solves of same-order systems should hold a workspace instead.
 ///
 /// # Errors
 ///
 /// Propagates factorization and solve errors from [`Lu`].
 pub fn solve_refined(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-    let lu = Lu::factor(a)?;
-    let mut x = lu.solve(b)?;
-    // Residual r = b - A x, correction dx with same factors.
-    let ax = a.mul_vec(&x);
-    let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi).collect();
-    if crate::vector::norm_inf(&r) > 0.0 {
-        if let Ok(dx) = lu.solve(&r) {
-            for (xi, di) in x.iter_mut().zip(dx.iter()) {
-                *xi += di;
+    let mut ws = LuWorkspace::new();
+    let mut x = Vec::new();
+    ws.solve_refined_into(a, b, &mut x)?;
+    Ok(x)
+}
+
+/// A reusable LU solve workspace: the packed factors, the pivot
+/// permutation and the refinement scratch buffers all persist across
+/// calls, so repeated same-order solves — the shape of every Newton
+/// iteration — allocate nothing.
+///
+/// # Example
+///
+/// ```rust
+/// use obd_linalg::{LuWorkspace, Matrix};
+///
+/// # fn main() -> Result<(), obd_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?;
+/// let mut ws = LuWorkspace::new();
+/// let mut x = Vec::new();
+/// ws.solve_refined_into(&a, &[2.0, 3.0], &mut x)?;
+/// assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// // Second solve of the same order reuses every buffer.
+/// ws.solve_refined_into(&a, &[4.0, 6.0], &mut x)?;
+/// assert!((x[0] - 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuWorkspace {
+    packed: Matrix,
+    perm: Vec<usize>,
+    perm_sign: f64,
+    factored: bool,
+    /// Residual / correction scratch for refinement.
+    residual: Vec<f64>,
+    correction: Vec<f64>,
+    /// Memo for [`LuWorkspace::solve_memo_into`]: the matrix the current
+    /// factors were computed from, and the right-hand side / solution of
+    /// the last successful solve. Comparisons are bitwise, so a memo hit
+    /// returns exactly what recomputation would.
+    memo_a: Matrix,
+    memo_b: Vec<f64>,
+    memo_x: Vec<f64>,
+    /// Whether `memo_a` matches the current packed factors.
+    memo_a_valid: bool,
+    /// Whether `memo_b`/`memo_x` belong to the current factors.
+    memo_b_valid: bool,
+}
+
+impl Default for LuWorkspace {
+    fn default() -> Self {
+        LuWorkspace::new()
+    }
+}
+
+impl LuWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily on the first
+    /// factorization.
+    pub fn new() -> Self {
+        LuWorkspace {
+            packed: Matrix::zeros(0, 0),
+            perm: Vec::new(),
+            perm_sign: 1.0,
+            factored: false,
+            residual: Vec::new(),
+            correction: Vec::new(),
+            memo_a: Matrix::zeros(0, 0),
+            memo_b: Vec::new(),
+            memo_x: Vec::new(),
+            memo_a_valid: false,
+            memo_b_valid: false,
+        }
+    }
+
+    /// Creates a workspace pre-sized for order-`n` systems, so even the
+    /// first solve allocates nothing.
+    pub fn with_order(n: usize) -> Self {
+        LuWorkspace {
+            packed: Matrix::zeros(n, n),
+            perm: vec![0; n],
+            perm_sign: 1.0,
+            factored: false,
+            residual: vec![0.0; n],
+            correction: vec![0.0; n],
+            memo_a: Matrix::zeros(n, n),
+            memo_b: vec![0.0; n],
+            memo_x: vec![0.0; n],
+            memo_a_valid: false,
+            memo_b_valid: false,
+        }
+    }
+
+    /// Order of the currently factored system (0 before the first
+    /// factorization).
+    pub fn order(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Factors `a` into the workspace, reusing the packed/perm buffers.
+    /// Allocates only when the order changes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lu::factor`].
+    pub fn factor_into(&mut self, a: &Matrix) -> Result<(), LinalgError> {
+        self.factored = false;
+        self.memo_a_valid = false;
+        self.memo_b_valid = false;
+        check_square(a)?;
+        let n = a.rows();
+        self.packed.copy_from(a);
+        if self.perm.len() != n {
+            self.perm.resize(n, 0);
+            self.residual.resize(n, 0.0);
+            self.correction.resize(n, 0.0);
+        }
+        self.perm_sign = factor_in_place(&mut self.packed, &mut self.perm)?;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the stored factors, writing into `x`
+    /// (resized to the system order; no allocation once `x` has capacity).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] when nothing has been factored
+    /// or `b` has the wrong length; [`LinalgError::NonFinite`] when the
+    /// substitution overflows.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), LinalgError> {
+        let n = self.order();
+        if !self.factored || b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        x.resize(n, 0.0);
+        solve_in_place(&self.packed, &self.perm, b, x);
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite);
+        }
+        Ok(())
+    }
+
+    /// Factor + solve + conditional refinement, the full Newton-iteration
+    /// kernel: refinement (one extra substitution with the same factors)
+    /// runs only when `‖b − A·x‖_inf` exceeds `1e-9·‖b‖_inf` — i.e. only
+    /// when the plain solve's backward error could actually disturb a
+    /// microvolt-tolerance convergence check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization and solve errors.
+    pub fn solve_refined_into(
+        &mut self,
+        a: &Matrix,
+        b: &[f64],
+        x: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        self.factor_into(a)?;
+        self.solve_into(b, x)?;
+        self.refine_against(a, b, x);
+        Ok(())
+    }
+
+    /// Like [`LuWorkspace::solve_refined_into`], but memoized on the exact
+    /// bit pattern of `(a, b)` — the shape of consecutive transient steps
+    /// through a quiescent circuit, where nothing in the stamped system
+    /// changes from one step to the next:
+    ///
+    /// * `a` and `b` both unchanged → the stored solution is copied out;
+    ///   no factorization, no substitution.
+    /// * only `a` unchanged → the existing factors are reused and just the
+    ///   substitutions (plus refinement) run.
+    /// * otherwise → full factor + solve + refinement.
+    ///
+    /// Because the comparisons are bitwise, every path returns exactly the
+    /// result the unmemoized call would; this is a pure time optimization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization and solve errors.
+    pub fn solve_memo_into(
+        &mut self,
+        a: &Matrix,
+        b: &[f64],
+        x: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        let a_hit = self.memo_a_valid
+            && self.memo_a.rows() == a.rows()
+            && self.memo_a.cols() == a.cols()
+            && self.memo_a.as_slice() == a.as_slice();
+        if a_hit {
+            if self.memo_b_valid && self.memo_b.as_slice() == b {
+                x.clear();
+                x.extend_from_slice(&self.memo_x);
+                return Ok(());
+            }
+            self.solve_into(b, x)?;
+            self.refine_against(a, b, x);
+        } else {
+            self.factor_into(a)?;
+            self.memo_a.copy_from(a);
+            self.memo_a_valid = true;
+            self.solve_into(b, x)?;
+            self.refine_against(a, b, x);
+        }
+        self.memo_b.clear();
+        self.memo_b.extend_from_slice(b);
+        self.memo_x.clear();
+        self.memo_x.extend_from_slice(x);
+        self.memo_b_valid = true;
+        Ok(())
+    }
+
+    /// One step of iterative refinement against the original system, run
+    /// only when the residual is large enough to matter (see
+    /// [`LuWorkspace::solve_refined_into`]).
+    fn refine_against(&mut self, a: &Matrix, b: &[f64], x: &mut [f64]) {
+        // Residual r = b − A·x into the persistent scratch buffer.
+        a.mul_vec_into(x, &mut self.residual);
+        let mut r_norm: f64 = 0.0;
+        let mut b_norm: f64 = 0.0;
+        for (ri, &bi) in self.residual.iter_mut().zip(b) {
+            *ri = bi - *ri;
+            r_norm = r_norm.max(ri.abs());
+            b_norm = b_norm.max(bi.abs());
+        }
+        if r_norm > REFINE_REL_TOL * b_norm.max(f64::MIN_POSITIVE) {
+            solve_in_place(&self.packed, &self.perm, &self.residual, &mut self.correction);
+            if self.correction.iter().all(|v| v.is_finite()) {
+                for (xi, di) in x.iter_mut().zip(self.correction.iter()) {
+                    *xi += di;
+                }
             }
         }
     }
-    Ok(x)
+
+    /// Determinant of the last factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.order() {
+            det *= self.packed[(i, i)];
+        }
+        det
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,63 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Copies `other`'s entries into `self` without reallocating when the
+    /// shapes already match — the backbone of workspace reuse in the
+    /// Newton hot path.
+    ///
+    /// Reshapes (and reallocates) only when the dimensions differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        if self.rows != other.rows || self.cols != other.cols {
+            self.rows = other.rows;
+            self.cols = other.cols;
+            self.data.resize(other.data.len(), 0.0);
+        }
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Borrows two distinct rows at once: `r1` immutably and `r2`
+    /// mutably. This is the access pattern of Gaussian elimination (read
+    /// the pivot row, update a trailing row), which plain indexing cannot
+    /// express without per-element bounds checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r1 >= r2` or `r2` is out of bounds.
+    pub fn row_pair_mut(&mut self, r1: usize, r2: usize) -> (&[f64], &mut [f64]) {
+        assert!(r1 < r2, "row_pair_mut requires r1 < r2");
+        let (head, tail) = self.data.split_at_mut(r2 * self.cols);
+        (
+            &head[r1 * self.cols..(r1 + 1) * self.cols],
+            &mut tail[..self.cols],
+        )
+    }
+
+    /// Swaps two rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn row_swap(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// The flat row-major entries.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major entries, mutably. Row `r` occupies
+    /// `[r * cols, (r + 1) * cols)`; kernels that need simultaneous
+    /// access to several rows (Gaussian elimination) split this slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Adds `v` to the entry at `(r, c)` — the fundamental MNA "stamp"
     /// operation.
     ///
@@ -126,16 +183,28 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product written into a caller-owned buffer —
+    /// allocation-free for repeated residual computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
-        (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
-            .collect()
+        assert_eq!(out.len(), self.rows, "mul_vec output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self
+                .row(r)
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+        }
     }
 
     /// Transpose.

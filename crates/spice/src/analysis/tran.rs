@@ -114,19 +114,45 @@ pub fn transient_with_options(
 
     let mut t = 0.0;
     let mut first_step = true;
+    // Double-buffer the solution so the steady-state loop never allocates:
+    // each step solves from `x` into `x_next`, then the two are swapped.
+    let mut x_next = vec![0.0; solver.dim()];
+    // Predictor state: the solution accepted two steps back and the
+    // extrapolated seed built from it, both preallocated.
+    let mut x_prev = x.clone();
+    let mut x_pred = vec![0.0; solver.dim()];
     while t < params.stop - 0.5 * params.step {
         let target = (t + params.step).min(params.stop);
-        x = advance_to(
-            ckt,
-            &mut solver,
-            opts,
-            params,
-            &x,
-            t,
-            target,
-            first_step,
-            params.max_step_halvings,
-        )?;
+        let mut stepped = false;
+        if opts.predictor && !first_step {
+            // Seed Newton with the linear extrapolation of the last two
+            // accepted solutions; a smooth waveform converges from it in
+            // fewer iterations than from the previous solution alone.
+            for ((p, &cur), &prev) in x_pred.iter_mut().zip(x.iter()).zip(x_prev.iter()) {
+                *p = 2.0 * cur - prev;
+            }
+            stepped = attempt_step(
+                ckt, &mut solver, opts, params, &x_pred, &mut x_next, target, t, first_step,
+            )
+            .is_ok();
+        }
+        if !stepped {
+            // Unpredicted path: the original seed with halving retries.
+            advance_to(
+                ckt,
+                &mut solver,
+                opts,
+                params,
+                &x,
+                &mut x_next,
+                t,
+                target,
+                first_step,
+                params.max_step_halvings,
+            )?;
+        }
+        x_prev.copy_from_slice(&x);
+        std::mem::swap(&mut x, &mut x_next);
         t = target;
         first_step = false;
         record(ckt, &solver, &x, t, &mut wave);
@@ -134,8 +160,47 @@ pub fn transient_with_options(
     Ok(wave)
 }
 
-/// Advances the solution from `t0` to `t1`, recursively halving on
-/// convergence failure.
+/// One solve attempt from `seed` over `[t0, t1]` with no retries; device
+/// history is committed only on success, so a failed predicted step leaves
+/// the solver exactly where the fallback expects it.
+#[allow(clippy::too_many_arguments)]
+fn attempt_step(
+    ckt: &Circuit,
+    solver: &mut Solver<'_>,
+    opts: &SimOptions,
+    params: &TranParams,
+    seed: &[f64],
+    out: &mut Vec<f64>,
+    t1: f64,
+    t0: f64,
+    startup: bool,
+) -> Result<(), SpiceError> {
+    let ctx = step_ctx(opts, params, t1, t1 - t0, startup);
+    solver.newton_into(&ctx, seed, out)?;
+    accept(ckt, solver, out, &ctx);
+    Ok(())
+}
+
+/// Evaluation context for one transient step ending at `t1`.
+fn step_ctx(opts: &SimOptions, params: &TranParams, t1: f64, h: f64, startup: bool) -> EvalCtx {
+    let integ = match (params.method, startup) {
+        (TranMethod::BackwardEuler, _) | (TranMethod::Trapezoidal, true) => {
+            Integration::BackwardEuler { h }
+        }
+        (TranMethod::Trapezoidal, false) => Integration::Trapezoidal { h },
+    };
+    EvalCtx {
+        time: t1,
+        source_scale: 1.0,
+        gmin: opts.gmin,
+        integ,
+        vt: crate::thermal_voltage_at(opts.temperature_c),
+    }
+}
+
+/// Advances the solution from `t0` to `t1` into `out`, recursively
+/// halving on convergence failure. `x0` is left untouched on failure, so
+/// each halving retry restarts from the last accepted solution.
 #[allow(clippy::too_many_arguments)]
 fn advance_to(
     ckt: &Circuit,
@@ -143,34 +208,25 @@ fn advance_to(
     opts: &SimOptions,
     params: &TranParams,
     x0: &[f64],
+    out: &mut Vec<f64>,
     t0: f64,
     t1: f64,
     startup: bool,
     halvings_left: u32,
-) -> Result<Vec<f64>, SpiceError> {
-    let h = t1 - t0;
-    let integ = match (params.method, startup) {
-        (TranMethod::BackwardEuler, _) | (TranMethod::Trapezoidal, true) => {
-            Integration::BackwardEuler { h }
-        }
-        (TranMethod::Trapezoidal, false) => Integration::Trapezoidal { h },
-    };
-    let ctx = EvalCtx {
-        time: t1,
-        source_scale: 1.0,
-        gmin: opts.gmin,
-        integ,
-        vt: crate::thermal_voltage_at(opts.temperature_c),
-    };
-    match solver.newton(&ctx, x0) {
-        Ok(x) => {
-            accept(ckt, solver, &x, &ctx);
-            Ok(x)
+) -> Result<(), SpiceError> {
+    let ctx = step_ctx(opts, params, t1, t1 - t0, startup);
+    match solver.newton_into(&ctx, x0, out) {
+        Ok(()) => {
+            accept(ckt, solver, out, &ctx);
+            Ok(())
         }
         Err(_) if halvings_left > 0 => {
+            // Off the hot path: a failed step may allocate for the
+            // midpoint scratch without disturbing the steady-state loop.
             let mid = 0.5 * (t0 + t1);
-            let xm = advance_to(ckt, solver, opts, params, x0, t0, mid, startup, halvings_left - 1)?;
-            advance_to(ckt, solver, opts, params, &xm, mid, t1, false, halvings_left - 1)
+            let mut xm = Vec::with_capacity(x0.len());
+            advance_to(ckt, solver, opts, params, x0, &mut xm, t0, mid, startup, halvings_left - 1)?;
+            advance_to(ckt, solver, opts, params, &xm, out, mid, t1, false, halvings_left - 1)
         }
         Err(e) => Err(SpiceError::Convergence {
             analysis: "tran",
@@ -187,16 +243,16 @@ fn accept(ckt: &Circuit, solver: &mut Solver<'_>, x: &[f64], ctx: &EvalCtx) {
 }
 
 fn record(ckt: &Circuit, solver: &Solver<'_>, x: &[f64], t: f64, wave: &mut Waveform) {
-    let voltages: Vec<_> = (1..ckt.num_nodes())
-        .map(|idx| {
+    // Streamed straight into the waveform — building intermediate vectors
+    // here would put two heap allocations on every accepted step.
+    wave.push_sample(
+        t,
+        (1..ckt.num_nodes()).map(|idx| {
             let n = crate::circuit::NodeId(idx);
             (n, solver.voltage(x, n))
-        })
-        .collect();
-    let currents: Vec<_> = (0..ckt.num_vsources())
-        .map(|k| (k, solver.source_current(x, k)))
-        .collect();
-    wave.push_sample(t, voltages, currents);
+        }),
+        (0..ckt.num_vsources()).map(|k| (k, solver.source_current(x, k))),
+    );
 }
 
 #[cfg(test)]

@@ -125,6 +125,15 @@ impl Device {
         }
     }
 
+    /// Whether the device's stamp is independent of the Newton iterate:
+    /// resistors, capacitor companions and independent sources read only
+    /// the evaluation context and per-step history, both fixed for the
+    /// duration of one Newton solve, so their stamps can be assembled once
+    /// per solve instead of once per iteration.
+    pub fn is_linear(&self) -> bool {
+        !matches!(self, Device::Diode(_) | Device::Mosfet(_))
+    }
+
     /// Stamps the device's linearized contribution for the Newton iterate
     /// `x` into `st`.
     ///

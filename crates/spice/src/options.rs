@@ -28,6 +28,18 @@ pub struct SimOptions {
     /// Default 26.85 °C = 300 K, matching
     /// [`THERMAL_VOLTAGE`](crate::THERMAL_VOLTAGE).
     pub temperature_c: f64,
+    /// Use the reference (pre-optimization) Newton kernel: every device
+    /// restamped each iteration and a one-shot, allocating LU solve.
+    /// Numerically interchangeable with the fast path; kept so benchmarks
+    /// can quantify the zero-allocation/split-stamping kernel against its
+    /// baseline on the same binary.
+    pub reference_kernel: bool,
+    /// Seed each transient step's Newton iteration with the linear
+    /// extrapolation of the last two accepted solutions instead of the
+    /// previous solution alone. Converges in fewer iterations on smooth
+    /// waveforms; a step that fails from the predicted seed is retried
+    /// from the unpredicted one, so robustness is unchanged.
+    pub predictor: bool,
 }
 
 impl SimOptions {
@@ -44,7 +56,18 @@ impl SimOptions {
             max_voltage_step: 0.5,
             voltage_clamp: 20.0,
             temperature_c: 26.85,
+            reference_kernel: false,
+            predictor: true,
         }
+    }
+
+    /// The same options running the reference (baseline) Newton kernel,
+    /// with the transient predictor disabled to match the pre-overhaul
+    /// engine exactly.
+    pub fn with_reference_kernel(mut self) -> Self {
+        self.reference_kernel = true;
+        self.predictor = false;
+        self
     }
 
     /// Returns `true` when two successive voltage iterates agree within

@@ -47,6 +47,15 @@ impl Stamp {
         self.z.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Overwrites this system with `other` (same dimensions) — a pair of
+    /// memcpys, so the cached linear part of a circuit can seed each
+    /// Newton iteration instead of re-stamping every device.
+    pub fn copy_from(&mut self, other: &Stamp) {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.a.copy_from(&other.a);
+        self.z.copy_from_slice(&other.z);
+    }
+
     /// Row/column index for a node, or `None` for ground.
     pub fn node_row(&self, n: NodeId) -> Option<usize> {
         if n.is_ground() {

@@ -5,8 +5,6 @@
 //! the simulated window is reported as "stuck" (the paper's `sa-0`/`sa-1`
 //! table entries).
 
-use std::collections::HashMap;
-
 use crate::circuit::NodeId;
 
 /// Edge direction selector for crossing searches.
@@ -21,11 +19,15 @@ pub enum EdgeKind {
 }
 
 /// A recorded multi-trace transient result.
+///
+/// Node and source indices are small and dense, so traces are stored in
+/// plain vectors indexed directly — appending a sample is a handful of
+/// bounds-checked pushes, with no hashing on the transient hot path.
 #[derive(Debug, Clone, Default)]
 pub struct Waveform {
     time: Vec<f64>,
-    traces: HashMap<usize, Vec<f64>>,
-    source_currents: HashMap<usize, Vec<f64>>,
+    traces: Vec<Option<Vec<f64>>>,
+    source_currents: Vec<Option<Vec<f64>>>,
 }
 
 impl Waveform {
@@ -44,10 +46,10 @@ impl Waveform {
     ) {
         self.time.push(t);
         for (n, v) in voltages {
-            self.traces.entry(n.index()).or_default().push(v);
+            push_indexed(&mut self.traces, n.index(), v);
         }
         for (k, i) in currents {
-            self.source_currents.entry(k).or_default().push(i);
+            push_indexed(&mut self.source_currents, k, i);
         }
     }
 
@@ -72,19 +74,22 @@ impl Waveform {
     ///
     /// Panics if the node was not recorded.
     pub fn trace(&self, n: NodeId) -> &[f64] {
-        self.traces
-            .get(&n.index())
+        self.trace_opt(n)
             .expect("node was not recorded in this waveform")
     }
 
     /// Voltage trace of a node, if recorded.
     pub fn trace_opt(&self, n: NodeId) -> Option<&[f64]> {
-        self.traces.get(&n.index()).map(|v| v.as_slice())
+        self.traces
+            .get(n.index())
+            .and_then(|t| t.as_deref())
     }
 
     /// Branch-current trace of the `k`-th voltage source, if recorded.
     pub fn source_current(&self, k: usize) -> Option<&[f64]> {
-        self.source_currents.get(&k).map(|v| v.as_slice())
+        self.source_currents
+            .get(k)
+            .and_then(|t| t.as_deref())
     }
 
     /// All times at which `trace` crosses `level` in the given direction,
@@ -210,6 +215,16 @@ impl Waveform {
         }
         s
     }
+}
+
+/// Appends `v` to the trace at `idx`, creating the slot (and any gap
+/// before it) on first touch. Steady-state appends are a plain indexed
+/// push.
+fn push_indexed(store: &mut Vec<Option<Vec<f64>>>, idx: usize, v: f64) {
+    if idx >= store.len() {
+        store.resize_with(idx + 1, || None);
+    }
+    store[idx].get_or_insert_with(Vec::new).push(v);
 }
 
 #[cfg(test)]

@@ -1,0 +1,111 @@
+//! Verifies the Newton hot path is allocation-free in steady state: once
+//! a solver's workspaces are warm, repeated `newton_into` solves must not
+//! touch the heap at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use obd_spice::devices::{
+    Capacitor, Diode, DiodeParams, EvalCtx, Integration, MosParams, Mosfet, MosPolarity, Resistor,
+    SourceWave, Vsource,
+};
+use obd_spice::engine::Solver;
+use obd_spice::{Circuit, SimOptions};
+
+/// Counts heap operations while `COUNTING` is set; otherwise defers
+/// straight to the system allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// A circuit exercising every stamp class: source, resistor, capacitor
+/// companion, diode and MOSFET.
+fn mixed_circuit() -> Circuit {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let vin = c.node("in");
+    let out = c.node("out");
+    let mid = c.node("mid");
+    c.add_vsource(Vsource::new("VDD", vdd, Circuit::GROUND, SourceWave::dc(3.3)));
+    c.add_vsource(Vsource::new("VIN", vin, Circuit::GROUND, SourceWave::dc(1.8)));
+    c.add_resistor(Resistor::new("RL", vdd, out, 10e3));
+    c.add_mosfet(Mosfet::new(
+        "M1",
+        MosPolarity::Nmos,
+        out,
+        vin,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosParams {
+            vt0: 0.5,
+            kp: 100e-6,
+            lambda: 0.02,
+            gamma: 0.0,
+            phi: 0.7,
+            w: 4e-6,
+            l: 0.5e-6,
+        },
+    ));
+    c.add_resistor(Resistor::new("R2", out, mid, 2e3));
+    c.add_diode(Diode::new("D1", mid, Circuit::GROUND, DiodeParams::new(1e-14)));
+    c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 0.1e-12));
+    c
+}
+
+#[test]
+fn warm_newton_solves_do_not_allocate() {
+    let ckt = mixed_circuit();
+    let opts = SimOptions::new();
+    let mut solver = Solver::new(&ckt, &opts).unwrap();
+
+    let ctx = EvalCtx {
+        time: 1e-9,
+        source_scale: 1.0,
+        gmin: opts.gmin,
+        integ: Integration::Trapezoidal { h: 5e-12 },
+        vt: obd_spice::THERMAL_VOLTAGE,
+    };
+
+    // Warm-up: the operating point sizes every solver buffer, then one
+    // transient-context solve warms the caller-side buffers.
+    let x0 = solver.operating_point().unwrap();
+    let mut x = vec![0.0; solver.dim()];
+    solver.newton_into(&ctx, &x0, &mut x).unwrap();
+
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..50 {
+        solver.newton_into(&ctx, &x0, &mut x).unwrap();
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let calls = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        calls, 0,
+        "steady-state newton_into performed {calls} heap allocations over 50 solves"
+    );
+}

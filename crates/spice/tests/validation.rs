@@ -9,7 +9,36 @@ use obd_spice::devices::{
     Vsource,
 };
 use obd_spice::{Circuit, SimOptions, THERMAL_VOLTAGE};
-use proptest::prelude::*;
+
+/// Minimal deterministic PRNG (xorshift64*) so the randomized validation
+/// sweeps below run without external dependencies; the suite must build
+/// offline.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    /// Log-uniform sample, for ranges spanning orders of magnitude.
+    fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        10f64.powf(self.uniform(lo.log10(), hi.log10()))
+    }
+}
 
 /// Arbitrary resistor ladders solve to the analytic series-divider
 /// voltages.
@@ -168,17 +197,14 @@ fn rc_discharge_exponential() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 32,
-        failure_persistence: None,
-        ..ProptestConfig::default()
-    })]
-
-    /// Two resistors in parallel equal the analytic combination, for any
-    /// positive values spanning the magnitudes in the OBD ladder.
-    #[test]
-    fn parallel_resistors_combine(r1 in 1e-1f64..1e7, r2 in 1e-1f64..1e7) {
+/// Two resistors in parallel equal the analytic combination, for any
+/// positive values spanning the magnitudes in the OBD ladder.
+#[test]
+fn parallel_resistors_combine() {
+    let mut rng = TestRng::new(0x51CE);
+    for _ in 0..32 {
+        let r1 = rng.log_uniform(1e-1, 1e7);
+        let r2 = rng.log_uniform(1e-1, 1e7);
         let mut ckt = Circuit::new();
         let n = ckt.node("n");
         // 1 µA keeps node voltages inside the solver's ±20 V sanity
@@ -189,13 +215,23 @@ proptest! {
         let op = operating_point(&ckt, &SimOptions::new()).unwrap();
         let rpar = r1 * r2 / (r1 + r2);
         let expect = 1e-6 * rpar;
-        prop_assert!((op.voltage(n) - expect).abs() < 2e-5 * expect.max(1e-9));
+        assert!(
+            (op.voltage(n) - expect).abs() < 2e-5 * expect.max(1e-9),
+            "r1={r1} r2={r2}: {} vs {expect}",
+            op.voltage(n)
+        );
     }
+}
 
-    /// The supply current of a divider equals V/R_total for any supply
-    /// and resistor pair.
-    #[test]
-    fn supply_current_matches(v in 0.1f64..10.0, r1 in 10.0f64..1e6, r2 in 10.0f64..1e6) {
+/// The supply current of a divider equals V/R_total for any supply
+/// and resistor pair.
+#[test]
+fn supply_current_matches() {
+    let mut rng = TestRng::new(0x5A17);
+    for _ in 0..32 {
+        let v = rng.uniform(0.1, 10.0);
+        let r1 = rng.log_uniform(10.0, 1e6);
+        let r2 = rng.log_uniform(10.0, 1e6);
         let mut ckt = Circuit::new();
         let top = ckt.node("t");
         let mid = ckt.node("m");
@@ -205,20 +241,28 @@ proptest! {
         let op = operating_point(&ckt, &SimOptions::new()).unwrap();
         let expect = v / (r1 + r2);
         let got = op.supply_current_magnitude(0).unwrap();
-        prop_assert!((got - expect).abs() < 1e-12 + 2e-5 * expect,
-            "i = {got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 1e-12 + 2e-5 * expect,
+            "v={v} r1={r1} r2={r2}: i = {got} vs {expect}"
+        );
     }
+}
 
-    /// PWL sources always evaluate inside the hull of their points.
-    #[test]
-    fn pwl_stays_in_hull(points in prop::collection::vec((0.0f64..1e-6, -5.0f64..5.0), 2..8),
-                         t in 0.0f64..2e-6) {
-        let mut pts = points;
+/// PWL sources always evaluate inside the hull of their points.
+#[test]
+fn pwl_stays_in_hull() {
+    let mut rng = TestRng::new(0x9A11);
+    for _ in 0..64 {
+        let count = 2 + (rng.next_u64() % 6) as usize;
+        let mut pts: Vec<(f64, f64)> = (0..count)
+            .map(|_| (rng.uniform(0.0, 1e-6), rng.uniform(-5.0, 5.0)))
+            .collect();
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let t = rng.uniform(0.0, 2e-6);
         let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         let w = SourceWave::pwl(pts);
         let v = w.value(t);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "t={t}: {v} outside [{lo}, {hi}]");
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The tier-1 gate: everything here must pass before a PR lands.
+# The workspace builds fully offline — no registry access is assumed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "check.sh: all gates passed"
