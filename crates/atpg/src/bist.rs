@@ -347,9 +347,7 @@ mod tests {
         let target_v1 = vec![Lv::One, Lv::One, Lv::Zero];
         let target_v2 = vec![Lv::One, Lv::Zero, Lv::Zero];
         assert!(
-            !plain
-                .iter()
-                .any(|t| t.v1 == target_v1 && t.v2 == target_v2),
+            !plain.iter().any(|t| t.v1 == target_v1 && t.v2 == target_v2),
             "plain LOC tapping cannot produce (110,100)"
         );
         let phased = phased_lfsr_two_pattern_tests(3, 2000, 12, 0xACE1);

@@ -101,11 +101,8 @@ impl<'a> Diagnoser<'a> {
         observations: &[Observation],
         nand_only: bool,
     ) -> Result<Vec<Candidate>, AtpgError> {
-        let sim = FaultSimulator::with_criterion(
-            self.nl,
-            self.table.clone(),
-            self.criterion.clone(),
-        )?;
+        let sim =
+            FaultSimulator::with_criterion(self.nl, self.table.clone(), self.criterion.clone())?;
         let mut candidates = Vec::new();
         for &stage in &self.stages {
             // PMOS HBD does not exist in the ladder; enumerate_sites
@@ -210,7 +207,10 @@ mod tests {
         // (stage-polarity ambiguity within a site is acceptable).
         assert!(consistent.iter().any(|c| c.fault == actual));
         for c in &consistent {
-            assert_eq!(c.fault.gate, actual.gate, "ambiguity beyond the gate: {c:?}");
+            assert_eq!(
+                c.fault.gate, actual.gate,
+                "ambiguity beyond the gate: {c:?}"
+            );
         }
     }
 

@@ -203,11 +203,7 @@ pub fn transition_faults(nl: &Netlist) -> Vec<Fault> {
 
 /// Generates the OBD fault list at a given stage (see
 /// [`obd_core::faultmodel::enumerate_sites`]).
-pub fn obd_faults(
-    nl: &Netlist,
-    stage: obd_core::BreakdownStage,
-    nand_only: bool,
-) -> Vec<Fault> {
+pub fn obd_faults(nl: &Netlist, stage: obd_core::BreakdownStage, nand_only: bool) -> Vec<Fault> {
     obd_core::faultmodel::enumerate_sites(nl, stage, nand_only)
         .into_iter()
         .map(Fault::Obd)
@@ -235,7 +231,9 @@ pub fn collapsed_obd_faults(
             let kind = nl.gate(f.gate).kind;
             let series_side = match kind {
                 // NAND/AND: NMOS stack is series.
-                GateKind::Nand | GateKind::And => f.polarity == obd_core::faultmodel::Polarity::Nmos,
+                GateKind::Nand | GateKind::And => {
+                    f.polarity == obd_core::faultmodel::Polarity::Nmos
+                }
                 // NOR/OR: PMOS stack is series.
                 GateKind::Nor | GateKind::Or => f.polarity == obd_core::faultmodel::Polarity::Pmos,
                 _ => false,

@@ -162,10 +162,7 @@ impl<'a> FaultSimulator<'a> {
                 for frame in [&test.v1, &test.v2] {
                     let good = simulate_with_order(self.nl, &self.order, frame)?;
                     let bad = self.sim_forced(frame, &[(*net, Lv::from_bool(*value))])?;
-                    if Self::outputs_differ(
-                        &good.outputs(self.nl),
-                        &self.outputs_of(&bad),
-                    ) {
+                    if Self::outputs_differ(&good.outputs(self.nl), &self.outputs_of(&bad)) {
                         return Ok(true);
                     }
                 }
@@ -449,7 +446,10 @@ mod tests {
     fn stuck_at_detection_on_single_gate() {
         let (nl, y) = nand_net();
         let sim = FaultSimulator::new(&nl).unwrap();
-        let f = Fault::StuckAt { net: y, value: true };
+        let f = Fault::StuckAt {
+            net: y,
+            value: true,
+        };
         // (1,1) produces 0; sa-1 visible.
         let t = TwoPatternTest::from_bools(&[true, true], &[true, true]);
         assert!(sim.detects(&f, &t).unwrap());
@@ -610,8 +610,14 @@ mod tests {
         let (nl, y) = nand_net();
         let sim = FaultSimulator::new(&nl).unwrap();
         let faults = vec![
-            Fault::StuckAt { net: y, value: true },
-            Fault::StuckAt { net: y, value: false },
+            Fault::StuckAt {
+                net: y,
+                value: true,
+            },
+            Fault::StuckAt {
+                net: y,
+                value: false,
+            },
         ];
         let tests = vec![
             TwoPatternTest::from_bools(&[true, true], &[true, true]),

@@ -126,7 +126,12 @@ pub fn generate_obd_tests(
 /// Propagates generation errors.
 pub fn generate_stuck_at_tests(nl: &Netlist) -> Result<TestReport, AtpgError> {
     let faults = stuck_at_faults(nl);
-    generate_for_faults(nl, &faults, DelayTable::paper(), &DetectionCriterion::ideal())
+    generate_for_faults(
+        nl,
+        &faults,
+        DelayTable::paper(),
+        &DetectionCriterion::ideal(),
+    )
 }
 
 /// Transition-fault test generation (the traditional two-pattern
@@ -137,7 +142,12 @@ pub fn generate_stuck_at_tests(nl: &Netlist) -> Result<TestReport, AtpgError> {
 /// Propagates generation errors.
 pub fn generate_transition_tests(nl: &Netlist) -> Result<TestReport, AtpgError> {
     let faults = transition_faults(nl);
-    generate_for_faults(nl, &faults, DelayTable::paper(), &DetectionCriterion::ideal())
+    generate_for_faults(
+        nl,
+        &faults,
+        DelayTable::paper(),
+        &DetectionCriterion::ideal(),
+    )
 }
 
 /// The §4.3 exhaustive analysis of a small circuit: every two-pattern

@@ -269,8 +269,8 @@ impl<'a> Podem<'a> {
                 for &g in &self.order {
                     let gate = self.nl.gate(g);
                     let out = gate.output;
-                    let out_known = st.good[out.index()].is_known()
-                        && st.faulty[out.index()].is_known();
+                    let out_known =
+                        st.good[out.index()].is_known() && st.faulty[out.index()].is_known();
                     if out_known {
                         continue;
                     }

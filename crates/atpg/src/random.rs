@@ -11,8 +11,12 @@ pub fn random_two_pattern(n_inputs: usize, count: usize, seed: u64) -> Vec<TwoPa
     let mut rng = XorShift64Star::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen_bool())).collect();
-            let v2: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen_bool())).collect();
+            let v1: Vec<Lv> = (0..n_inputs)
+                .map(|_| Lv::from_bool(rng.gen_bool()))
+                .collect();
+            let v2: Vec<Lv> = (0..n_inputs)
+                .map(|_| Lv::from_bool(rng.gen_bool()))
+                .collect();
             TwoPatternTest { v1, v2 }
         })
         .collect()
@@ -25,7 +29,9 @@ pub fn single_input_change(n_inputs: usize, count: usize, seed: u64) -> Vec<TwoP
     let mut rng = XorShift64Star::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let v1: Vec<Lv> = (0..n_inputs).map(|_| Lv::from_bool(rng.gen_bool())).collect();
+            let v1: Vec<Lv> = (0..n_inputs)
+                .map(|_| Lv::from_bool(rng.gen_bool()))
+                .collect();
             let mut v2 = v1.clone();
             let flip = rng.gen_range(n_inputs);
             v2[flip] = !v2[flip];

@@ -96,10 +96,7 @@ impl ScanChain {
             for si in [false, true] {
                 let v2 = self.los_capture(&v1, si);
                 if v2 != v1 {
-                    let t = TwoPatternTest {
-                        v1: v1.clone(),
-                        v2,
-                    };
+                    let t = TwoPatternTest { v1: v1.clone(), v2 };
                     if !out.contains(&t) {
                         out.push(t);
                     }
@@ -130,11 +127,7 @@ pub fn los_coverage(
         .count();
     // Unconstrained testable universe for reference.
     let all = crate::random::exhaustive_two_pattern(nl.inputs().len());
-    let testable = sim
-        .grade(&faults, &all)?
-        .into_iter()
-        .filter(|&d| d)
-        .count();
+    let testable = sim.grade(&faults, &all)?.into_iter().filter(|&d| d).count();
     Ok((detected, testable))
 }
 
@@ -231,8 +224,7 @@ mod tests {
     fn los_loses_coverage_and_chain_order_matters() {
         let nl = fig8_sum_circuit();
         let natural = ScanChain::natural(3);
-        let (det_nat, testable) =
-            los_coverage(&nl, &natural, BreakdownStage::Mbd2).unwrap();
+        let (det_nat, testable) = los_coverage(&nl, &natural, BreakdownStage::Mbd2).unwrap();
         assert!(
             det_nat < testable,
             "LOS must lose coverage: {det_nat}/{testable}"

@@ -109,9 +109,7 @@ impl Scoap {
                         GateKind::Or | GateKind::Nor => cc0[side.index()],
                         // XOR family: either value propagates; take the
                         // cheaper.
-                        GateKind::Xor | GateKind::Xnor => {
-                            cc0[side.index()].min(cc1[side.index()])
-                        }
+                        GateKind::Xor | GateKind::Xnor => cc0[side.index()].min(cc1[side.index()]),
                         GateKind::Inv | GateKind::Buf => 0,
                     })
                     .fold(0, sat_add);

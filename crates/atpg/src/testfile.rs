@@ -66,12 +66,10 @@ pub fn read_tests(nl: &Netlist, text: &str) -> Result<Vec<TwoPatternTest>, AtpgE
         let (lhs, rhs) = line.split_once("->").ok_or_else(|| {
             AtpgError::Netlist(format!("line {}: expected 'v1 -> v2'", lineno + 1))
         })?;
-        let v1 = parse_vector(lhs.trim()).map_err(|c| {
-            AtpgError::Netlist(format!("line {}: bad character '{c}'", lineno + 1))
-        })?;
-        let v2 = parse_vector(rhs.trim()).map_err(|c| {
-            AtpgError::Netlist(format!("line {}: bad character '{c}'", lineno + 1))
-        })?;
+        let v1 = parse_vector(lhs.trim())
+            .map_err(|c| AtpgError::Netlist(format!("line {}: bad character '{c}'", lineno + 1)))?;
+        let v2 = parse_vector(rhs.trim())
+            .map_err(|c| AtpgError::Netlist(format!("line {}: bad character '{c}'", lineno + 1)))?;
         if v1.len() != expected.len() || v2.len() != expected.len() {
             return Err(AtpgError::VectorWidth {
                 expected: expected.len(),

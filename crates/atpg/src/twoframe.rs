@@ -8,8 +8,8 @@
 //! complexity claim in action.
 
 use obd_core::characterize::DelayTable;
-use obd_core::excitation::{excitation_set, InputPair};
 use obd_core::em::em_excitation_set;
+use obd_core::excitation::{excitation_set, InputPair};
 use obd_core::faultmodel::{cell_for_kind, ObdFault};
 use obd_logic::netlist::{NetId, Netlist};
 
@@ -85,11 +85,12 @@ impl<'a> TwoFrameAtpg<'a> {
                 polarity,
             } => {
                 let gate_ref = self.nl.gate(*gate);
-                let cell = cell_for_kind(gate_ref.kind, gate_ref.inputs.len()).ok_or_else(
-                    || AtpgError::UnsupportedGate {
-                        gate: gate_ref.name.clone(),
-                    },
-                )?;
+                let cell =
+                    cell_for_kind(gate_ref.kind, gate_ref.inputs.len()).ok_or_else(|| {
+                        AtpgError::UnsupportedGate {
+                            gate: gate_ref.name.clone(),
+                        }
+                    })?;
                 let probe = ObdFault {
                     gate: *gate,
                     pin: *pin,

@@ -30,5 +30,7 @@ fn main() {
         sim.detection_matrix(&faults, &tests).expect("matrix")
     });
     bench("greedy_cover", || greedy_cover(&matrix, &coverable));
-    bench("exact_cover", || exact_cover(&matrix, &coverable, 2_000_000));
+    bench("exact_cover", || {
+        exact_cover(&matrix, &coverable, 2_000_000)
+    });
 }

@@ -37,7 +37,12 @@ fn rc_ladder(stages: usize) -> Circuit {
     for i in 0..stages {
         let n = ckt.node(&format!("n{i}"));
         ckt.add_resistor(Resistor::new(&format!("R{i}"), prev, n, 1e3));
-        ckt.add_capacitor(Capacitor::new(&format!("C{i}"), n, Circuit::GROUND, 0.2e-12));
+        ckt.add_capacitor(Capacitor::new(
+            &format!("C{i}"),
+            n,
+            Circuit::GROUND,
+            0.2e-12,
+        ));
         prev = n;
     }
     ckt

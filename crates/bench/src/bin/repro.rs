@@ -368,8 +368,23 @@ fn main() {
     }
     if !all
         && ![
-            "excitation", "em", "window", "stats", "tpg", "fig4", "table1", "fig6", "fig7",
-            "fig9", "scaling", "iddq", "bist", "clock", "scan", "variation", "bench",
+            "excitation",
+            "em",
+            "window",
+            "stats",
+            "tpg",
+            "fig4",
+            "table1",
+            "fig6",
+            "fig7",
+            "fig9",
+            "scaling",
+            "iddq",
+            "bist",
+            "clock",
+            "scan",
+            "variation",
+            "bench",
         ]
         .contains(&arg.as_str())
     {

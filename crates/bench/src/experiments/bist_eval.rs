@@ -98,9 +98,7 @@ fn run_inner(
 
 /// Renders the curves.
 pub fn render(curves: &[BistCurve]) -> String {
-    let mut s = String::from(
-        "circuit    testable  ATPG tests | LFSR patterns -> covered\n",
-    );
+    let mut s = String::from("circuit    testable  ATPG tests | LFSR patterns -> covered\n");
     for c in curves {
         s.push_str(&format!(
             "{:<10} {:>8}  {:>10} |",

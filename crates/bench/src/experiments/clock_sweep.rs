@@ -90,9 +90,8 @@ pub fn compare_models(
         .iter()
         .map(|&rel| {
             let clock = critical * rel;
-            let (s, t) = obd_atpg::timed_sim::compare_static_vs_timed(
-                nl, &faults, &tests, &table, clock,
-            )?;
+            let (s, t) =
+                obd_atpg::timed_sim::compare_static_vs_timed(nl, &faults, &tests, &table, clock)?;
             Ok((clock, s, t))
         })
         .collect()
@@ -100,23 +99,17 @@ pub fn compare_models(
 
 /// Renders the model comparison.
 pub fn render_comparison(rows: &[(f64, usize, usize)]) -> String {
-    let mut s = String::from(
-        "clock(ps)   static-slack detected   timing-accurate detected\n",
-    );
+    let mut s = String::from("clock(ps)   static-slack detected   timing-accurate detected\n");
     for (clock, st, ti) in rows {
         s.push_str(&format!("{clock:>8.0}   {st:>20}   {ti:>24}\n"));
     }
-    s.push_str(
-        "\n(the static model uses worst-path gate slack and therefore over-approximates)\n",
-    );
+    s.push_str("\n(the static model uses worst-path gate slack and therefore over-approximates)\n");
     s
 }
 
 /// Renders the sweep.
 pub fn render(points: &[ClockPoint]) -> String {
-    let mut s = String::from(
-        "clock (x critical)  | SBD          MBD1         MBD2         MBD3\n",
-    );
+    let mut s = String::from("clock (x critical)  | SBD          MBD1         MBD2         MBD3\n");
     for p in points {
         s.push_str(&format!(
             "{:7.0}ps ({:4.2}x)   |",

@@ -33,7 +33,11 @@ impl VtcCurve {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run(tech: &TechParams, polarity: Polarity, points: usize) -> Result<Vec<VtcCurve>, ObdError> {
+pub fn run(
+    tech: &TechParams,
+    polarity: Polarity,
+    points: usize,
+) -> Result<Vec<VtcCurve>, ObdError> {
     let stages = match polarity {
         Polarity::Nmos => vec![
             BreakdownStage::FaultFree,
@@ -84,7 +88,12 @@ pub fn to_csv(curves: &[VtcCurve]) -> String {
 pub fn summary(curves: &[VtcCurve]) -> String {
     let mut s = String::from("stage      VOH(V)   VOL(V)\n");
     for c in curves {
-        s.push_str(&format!("{:<10} {:.3}    {:.3}\n", c.stage.to_string(), c.voh(), c.vol()));
+        s.push_str(&format!(
+            "{:<10} {:.3}    {:.3}\n",
+            c.stage.to_string(),
+            c.voh(),
+            c.vol()
+        ));
     }
     s
 }
@@ -102,7 +111,10 @@ mod tests {
         for w in vols.windows(2) {
             assert!(w[1] >= w[0] - 1e-6, "VOL must rise: {vols:?}");
         }
-        assert!(vols[3] > vols[0] + 0.2, "HBD shift must be visible: {vols:?}");
+        assert!(
+            vols[3] > vols[0] + 0.2,
+            "HBD shift must be visible: {vols:?}"
+        );
         // VOH stays essentially intact for NMOS defects.
         for c in &curves {
             assert!(c.voh() > 0.9 * tech.vdd);

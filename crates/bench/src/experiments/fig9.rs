@@ -57,7 +57,10 @@ pub fn run(
 ) -> Result<Vec<Fig9Row>, ObdError> {
     let nl = fig8_sum_circuit();
     let g6 = nl
-        .driver(nl.find_net("g6").map_err(|e| ObdError::Logic(e.to_string()))?)
+        .driver(
+            nl.find_net("g6")
+                .map_err(|e| ObdError::Logic(e.to_string()))?,
+        )
         .expect("g6 driven");
     let mut atpg = TwoFrameAtpg::new(&nl).map_err(|e| ObdError::Logic(e.to_string()))?;
 
@@ -119,10 +122,7 @@ pub fn run(
 
 /// Whether the good-machine sum output toggles between the frames.
 fn sum_toggles(test: &obd_atpg::fault::TwoPatternTest) -> bool {
-    let sum = |v: &[Lv]| {
-        v.iter()
-            .fold(false, |acc, &b| acc ^ (b == Lv::One))
-    };
+    let sum = |v: &[Lv]| v.iter().fold(false, |acc, &b| acc ^ (b == Lv::One));
     sum(&test.v1) != sum(&test.v2)
 }
 
@@ -189,7 +189,11 @@ fn simulate_sum(
     if s1 == s2 {
         return Ok((None, trace));
     }
-    let edge = if s2 { EdgeKind::Rising } else { EdgeKind::Falling };
+    let edge = if s2 {
+        EdgeKind::Rising
+    } else {
+        EdgeKind::Falling
+    };
     let t_ref = launch + 0.5 * cfg.edge_ps * ps;
     let delay = wave
         .first_crossing(s_node, tech.half_vdd(), edge, t_ref)
@@ -204,7 +208,9 @@ pub fn render(rows: &[Fig9Row]) -> String {
         let ff = r
             .fault_free_ps
             .map_or("n/a".to_string(), |d| format!("{d:.0}ps"));
-        let fy = r.faulty_ps.map_or("stuck".to_string(), |d| format!("{d:.0}ps"));
+        let fy = r
+            .faulty_ps
+            .map_or("stuck".to_string(), |d| format!("{d:.0}ps"));
         s.push_str(&format!(
             "{:<11} {:<13} {:>10}    {:>8}\n",
             r.label, r.sequence, ff, fy

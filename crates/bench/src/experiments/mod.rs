@@ -5,8 +5,8 @@ pub mod clock_sweep;
 pub mod em_contrast;
 pub mod excitation;
 pub mod fig4;
-pub mod iddq;
 pub mod fig9;
+pub mod iddq;
 pub mod scaling;
 pub mod scan_eval;
 pub mod spice_bench;

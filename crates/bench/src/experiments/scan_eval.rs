@@ -47,10 +47,7 @@ pub fn run(nl: &Netlist, label: &str) -> Result<ScanReport, AtpgError> {
             let mut probe = vec![obd_logic::value::Lv::Zero; n];
             probe[current] = obd_logic::value::Lv::One;
             let shifted = chain.los_capture(&probe, false);
-            if let Some(next) = shifted
-                .iter()
-                .position(|&v| v == obd_logic::value::Lv::One)
-            {
+            if let Some(next) = shifted.iter().position(|&v| v == obd_logic::value::Lv::One) {
                 order.push(next);
                 current = next;
             } else {
@@ -68,9 +65,7 @@ pub fn run(nl: &Netlist, label: &str) -> Result<ScanReport, AtpgError> {
 
 /// Renders the reports.
 pub fn render(reports: &[ScanReport]) -> String {
-    let mut s = String::from(
-        "circuit    natural-chain LOS   best-chain LOS   best order\n",
-    );
+    let mut s = String::from("circuit    natural-chain LOS   best-chain LOS   best order\n");
     for r in reports {
         s.push_str(&format!(
             "{:<10} {:>8}/{:<8}   {:>8}/{:<8}   {:?}\n",

@@ -25,8 +25,8 @@ use std::time::Instant;
 use obd_cmos::expand::expand;
 use obd_cmos::TechParams;
 use obd_core::characterize::{
-    characterize_table1_parallel, characterize_table1_with_options, measure_cell_transition_with_options,
-    BenchConfig, Fig5Bench,
+    characterize_table1_parallel, characterize_table1_with_options,
+    measure_cell_transition_with_options, BenchConfig, Fig5Bench,
 };
 use obd_core::ObdError;
 use obd_logic::netlist::GateKind;
@@ -168,7 +168,9 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<SpiceBenchReport, Obd
     let mut parallel = None;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        baseline = Some(characterize_table1_with_options(tech, &ref_cfg, &reference)?);
+        baseline = Some(characterize_table1_with_options(
+            tech, &ref_cfg, &reference,
+        )?);
         table1_reference_s = table1_reference_s.min(t0.elapsed().as_secs_f64());
         let t1 = Instant::now();
         serial = Some(characterize_table1_with_options(tech, cfg, &fast)?);

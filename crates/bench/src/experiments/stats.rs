@@ -2,11 +2,11 @@
 //! necessary-and-sufficient transition set for the full-adder sum
 //! circuit.
 
+use obd_atpg::compact::{exact_cover, greedy_cover};
 use obd_atpg::fault::DetectionCriterion;
+use obd_atpg::faultsim::FaultSimulator;
 use obd_atpg::generate::{exhaustive_obd_analysis, ExhaustiveObdAnalysis};
 use obd_atpg::random::single_input_change;
-use obd_atpg::compact::{exact_cover, greedy_cover};
-use obd_atpg::faultsim::FaultSimulator;
 use obd_atpg::AtpgError;
 use obd_core::characterize::DelayTable;
 use obd_core::BreakdownStage;
@@ -43,10 +43,7 @@ pub fn run(stage: BreakdownStage) -> Result<Fig8Stats, AtpgError> {
         for flip in 0..n {
             let mut v2 = v.clone();
             v2[flip] = !v2[flip];
-            sic.push(obd_atpg::fault::TwoPatternTest {
-                v1: v.clone(),
-                v2,
-            });
+            sic.push(obd_atpg::fault::TwoPatternTest { v1: v.clone(), v2 });
         }
     }
     let _ = single_input_change(n, 0, 0); // keep the RNG variant linked for docs

@@ -9,10 +9,10 @@
 //! the breakdown ladder causes. A defect stage is *screenable* when its
 //! shift clears the process spread.
 
+use obd_atpg::rng::XorShift64Star;
 use obd_cmos::TechParams;
 use obd_core::characterize::{measure_transition, BenchConfig, BenchDefect, TransitionOutcome};
 use obd_core::faultmodel::Polarity;
-use obd_atpg::rng::XorShift64Star;
 use obd_core::{BreakdownStage, ObdError};
 
 /// Monte Carlo statistics of the fault-free delay plus per-stage defect
@@ -125,7 +125,11 @@ pub fn render(r: &VariationReport) -> String {
             stage.to_string(),
             shift,
             z,
-            if *z > 3.0 { "yes" } else { "no — hides in process noise" }
+            if *z > 3.0 {
+                "yes"
+            } else {
+                "no — hides in process noise"
+            }
         ));
     }
     s

@@ -51,7 +51,14 @@ fn extract(
 /// Propagates simulation errors.
 pub fn fig6(tech: &TechParams, cfg: &BenchConfig) -> Result<Vec<LabeledTrace>, ObdError> {
     let mut out = Vec::new();
-    out.push(extract(tech, None, [false, true], [true, true], cfg, "FaultFree")?);
+    out.push(extract(
+        tech,
+        None,
+        [false, true],
+        [true, true],
+        cfg,
+        "FaultFree",
+    )?);
     for stage in [
         BreakdownStage::Sbd,
         BreakdownStage::Mbd1,
@@ -94,11 +101,46 @@ pub fn fig7(tech: &TechParams, cfg: &BenchConfig) -> Result<Vec<LabeledTrace>, O
         params,
     };
     Ok(vec![
-        extract(tech, None, [true, true], [false, true], cfg, "FaultFree (11,01)")?,
-        extract(tech, Some(defect_a), [true, true], [false, true], cfg, "PMOS-A (11,01) excited")?,
-        extract(tech, Some(defect_a), [true, true], [true, false], cfg, "PMOS-A (11,10) masked")?,
-        extract(tech, Some(defect_b), [true, true], [true, false], cfg, "PMOS-B (11,10) excited")?,
-        extract(tech, Some(defect_b), [true, true], [false, true], cfg, "PMOS-B (11,01) masked")?,
+        extract(
+            tech,
+            None,
+            [true, true],
+            [false, true],
+            cfg,
+            "FaultFree (11,01)",
+        )?,
+        extract(
+            tech,
+            Some(defect_a),
+            [true, true],
+            [false, true],
+            cfg,
+            "PMOS-A (11,01) excited",
+        )?,
+        extract(
+            tech,
+            Some(defect_a),
+            [true, true],
+            [true, false],
+            cfg,
+            "PMOS-A (11,10) masked",
+        )?,
+        extract(
+            tech,
+            Some(defect_b),
+            [true, true],
+            [true, false],
+            cfg,
+            "PMOS-B (11,10) excited",
+        )?,
+        extract(
+            tech,
+            Some(defect_b),
+            [true, true],
+            [false, true],
+            cfg,
+            "PMOS-B (11,01) masked",
+        )?,
     ])
 }
 

@@ -146,8 +146,17 @@ pub fn expand(nl: &Netlist, tech: &TechParams) -> Result<ExpandedCircuit, CmosEr
             GateKind::Inv => {
                 let cell = Cell::inverter();
                 expand_cell(
-                    &mut ckt, tech, &cell, gate_id, &ins, out, vdd, &mut transistors,
-                    &mut sd_terms, &mut gate_terms, &format!("g{gi}"),
+                    &mut ckt,
+                    tech,
+                    &cell,
+                    gate_id,
+                    &ins,
+                    out,
+                    vdd,
+                    &mut transistors,
+                    &mut sd_terms,
+                    &mut gate_terms,
+                    &format!("g{gi}"),
                 );
                 cell_of_gate.insert(gi, cell);
             }
@@ -156,28 +165,64 @@ pub fn expand(nl: &Netlist, tech: &TechParams) -> Result<ExpandedCircuit, CmosEr
                 let mid = ckt.node(&format!("g{gi}_bufmid"));
                 let cell = Cell::inverter();
                 expand_cell(
-                    &mut ckt, tech, &cell, gate_id, &ins, mid, vdd, &mut transistors,
-                    &mut sd_terms, &mut gate_terms, &format!("g{gi}a"),
+                    &mut ckt,
+                    tech,
+                    &cell,
+                    gate_id,
+                    &ins,
+                    mid,
+                    vdd,
+                    &mut transistors,
+                    &mut sd_terms,
+                    &mut gate_terms,
+                    &format!("g{gi}a"),
                 );
                 expand_cell(
-                    &mut ckt, tech, &cell, gate_id, &[mid], out, vdd, &mut transistors,
-                    &mut sd_terms, &mut gate_terms, &format!("g{gi}b"),
+                    &mut ckt,
+                    tech,
+                    &cell,
+                    gate_id,
+                    &[mid],
+                    out,
+                    vdd,
+                    &mut transistors,
+                    &mut sd_terms,
+                    &mut gate_terms,
+                    &format!("g{gi}b"),
                 );
                 cell_of_gate.insert(gi, cell);
             }
             GateKind::Nand => {
                 let cell = Cell::nand(g.inputs.len());
                 expand_cell(
-                    &mut ckt, tech, &cell, gate_id, &ins, out, vdd, &mut transistors,
-                    &mut sd_terms, &mut gate_terms, &format!("g{gi}"),
+                    &mut ckt,
+                    tech,
+                    &cell,
+                    gate_id,
+                    &ins,
+                    out,
+                    vdd,
+                    &mut transistors,
+                    &mut sd_terms,
+                    &mut gate_terms,
+                    &format!("g{gi}"),
                 );
                 cell_of_gate.insert(gi, cell);
             }
             GateKind::Nor => {
                 let cell = Cell::nor(g.inputs.len());
                 expand_cell(
-                    &mut ckt, tech, &cell, gate_id, &ins, out, vdd, &mut transistors,
-                    &mut sd_terms, &mut gate_terms, &format!("g{gi}"),
+                    &mut ckt,
+                    tech,
+                    &cell,
+                    gate_id,
+                    &ins,
+                    out,
+                    vdd,
+                    &mut transistors,
+                    &mut sd_terms,
+                    &mut gate_terms,
+                    &format!("g{gi}"),
                 );
                 cell_of_gate.insert(gi, cell);
             }
@@ -212,7 +257,12 @@ pub fn expand(nl: &Netlist, tech: &TechParams) -> Result<ExpandedCircuit, CmosEr
             continue;
         }
         let node = ckt.node_by_index(node_idx);
-        ckt.add_capacitor(Capacitor::new(&format!("Cn{node_idx}"), node, Circuit::GROUND, c));
+        ckt.add_capacitor(Capacitor::new(
+            &format!("Cn{node_idx}"),
+            node,
+            Circuit::GROUND,
+            c,
+        ));
     }
 
     Ok(ExpandedCircuit {
@@ -248,8 +298,17 @@ pub fn instantiate_cell(
     let mut sd_terms = HashMap::new();
     let mut gate_terms = HashMap::new();
     expand_cell(
-        ckt, tech, cell, placeholder_gate, inputs, output, vdd, &mut transistors,
-        &mut sd_terms, &mut gate_terms, prefix,
+        ckt,
+        tech,
+        cell,
+        placeholder_gate,
+        inputs,
+        output,
+        vdd,
+        &mut transistors,
+        &mut sd_terms,
+        &mut gate_terms,
+        prefix,
     );
     attach_terms(ckt, tech, vdd, &sd_terms, &gate_terms);
     transistors
@@ -314,14 +373,37 @@ fn expand_cell(
     assert_eq!(inputs.len(), cell.num_inputs, "pin count mismatch");
     let mut leaf_counter = 0usize;
     expand_net(
-        ckt, tech, &cell.pulldown, MosPolarity::Nmos, gate, inputs, out,
-        Circuit::GROUND, Circuit::GROUND, transistors, sd_terms, gate_terms,
-        &format!("{prefix}_pd"), &mut leaf_counter,
+        ckt,
+        tech,
+        &cell.pulldown,
+        MosPolarity::Nmos,
+        gate,
+        inputs,
+        out,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        transistors,
+        sd_terms,
+        gate_terms,
+        &format!("{prefix}_pd"),
+        &mut leaf_counter,
     );
     let mut leaf_counter = 0usize;
     expand_net(
-        ckt, tech, &cell.pullup, MosPolarity::Pmos, gate, inputs, vdd, out, vdd,
-        transistors, sd_terms, gate_terms, &format!("{prefix}_pu"), &mut leaf_counter,
+        ckt,
+        tech,
+        &cell.pullup,
+        MosPolarity::Pmos,
+        gate,
+        inputs,
+        vdd,
+        out,
+        vdd,
+        transistors,
+        sd_terms,
+        gate_terms,
+        &format!("{prefix}_pu"),
+        &mut leaf_counter,
     );
 }
 
@@ -373,8 +455,20 @@ fn expand_net(
                     ckt.fresh_node()
                 };
                 expand_net(
-                    ckt, tech, x, polarity, gate, inputs, prev, next, bulk,
-                    transistors, sd_terms, gate_terms, prefix, leaf_counter,
+                    ckt,
+                    tech,
+                    x,
+                    polarity,
+                    gate,
+                    inputs,
+                    prev,
+                    next,
+                    bulk,
+                    transistors,
+                    sd_terms,
+                    gate_terms,
+                    prefix,
+                    leaf_counter,
                 );
                 prev = next;
             }
@@ -382,8 +476,20 @@ fn expand_net(
         SpNet::Parallel(xs) => {
             for x in xs {
                 expand_net(
-                    ckt, tech, x, polarity, gate, inputs, top, bottom, bulk,
-                    transistors, sd_terms, gate_terms, prefix, leaf_counter,
+                    ckt,
+                    tech,
+                    x,
+                    polarity,
+                    gate,
+                    inputs,
+                    top,
+                    bottom,
+                    bulk,
+                    transistors,
+                    sd_terms,
+                    gate_terms,
+                    prefix,
+                    leaf_counter,
                 );
             }
         }
@@ -436,7 +542,11 @@ pub fn decompose_for_expansion(nl: &Netlist) -> Result<Netlist, obd_logic::Logic
                     let t1 = out.add_gate(GateKind::Nand, &format!("{pfx}a"), &[acc, b])?;
                     let t2 = out.add_gate(GateKind::Nand, &format!("{pfx}b"), &[acc, t1])?;
                     let t3 = out.add_gate(GateKind::Nand, &format!("{pfx}c"), &[t1, b])?;
-                    let gate_name = if last { name.clone() } else { format!("{pfx}d") };
+                    let gate_name = if last {
+                        name.clone()
+                    } else {
+                        format!("{pfx}d")
+                    };
                     acc = out.add_gate(GateKind::Nand, &gate_name, &[t2, t3])?;
                 }
                 if gate.kind == GateKind::Xnor {
@@ -455,7 +565,13 @@ pub fn decompose_for_expansion(nl: &Netlist) -> Result<Netlist, obd_logic::Logic
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -68,9 +68,7 @@ impl SpNet {
     pub fn num_transistors(&self) -> usize {
         match self {
             SpNet::Leaf(_) => 1,
-            SpNet::Series(xs) | SpNet::Parallel(xs) => {
-                xs.iter().map(SpNet::num_transistors).sum()
-            }
+            SpNet::Series(xs) | SpNet::Parallel(xs) => xs.iter().map(SpNet::num_transistors).sum(),
         }
     }
 

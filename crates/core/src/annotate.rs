@@ -145,10 +145,7 @@ mod tests {
 
         let clean_model = delay_model_from_table(&table);
         let clean = timing_simulate(&nl, &clean_model, &initial, &events).unwrap();
-        let t_clean = clean
-            .wave(s)
-            .last_transition()
-            .expect("sum must switch");
+        let t_clean = clean.wave(s).last_transition().expect("sum must switch");
 
         let mut faulty_model = delay_model_from_table(&table);
         annotate_fault(&mut faulty_model, &nl, &fault, &table).unwrap();

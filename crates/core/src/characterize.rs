@@ -351,7 +351,11 @@ pub fn measure_cell_transition_with_options(
         // Output does not switch; delay is undefined for this sequence.
         return Ok(TransitionOutcome::Stuck);
     }
-    let out_edge = if out2 { EdgeKind::Rising } else { EdgeKind::Falling };
+    let out_edge = if out2 {
+        EdgeKind::Rising
+    } else {
+        EdgeKind::Falling
+    };
     let out_node = exp.node(bench.output);
     let t_start = cfg.launch_ps * 1e-12 * 0.5;
     let t_in = wave.first_crossing(in_node, half, in_edge, t_start);
@@ -377,7 +381,9 @@ pub fn measure_cell_transition_with_options(
                 sim_full_window: true,
                 ..cfg.clone()
             };
-            return measure_cell_transition_with_options(tech, kind, defect, v1, v2, &full_cfg, opts);
+            return measure_cell_transition_with_options(
+                tech, kind, defect, v1, v2, &full_cfg, opts,
+            );
         }
     }
 
@@ -589,25 +595,24 @@ pub fn characterize_table1_parallel(
         return characterize_table1(tech, cfg);
     }
     let chunk = jobs.len().div_ceil(threads);
-    let results: Vec<Result<Vec<Table1CellResult>, ObdError>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for piece in jobs.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    piece
-                        .iter()
-                        .map(|j| {
-                            let o = measure_transition(tech, j.defect, j.v1, j.v2, cfg)?;
-                            Ok((j.row, j.slot, o))
-                        })
-                        .collect()
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker must not panic"))
-                .collect()
-        });
+    let results: Vec<Result<Vec<Table1CellResult>, ObdError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for piece in jobs.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                piece
+                    .iter()
+                    .map(|j| {
+                        let o = measure_transition(tech, j.defect, j.v1, j.v2, cfg)?;
+                        Ok((j.row, j.slot, o))
+                    })
+                    .collect()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker must not panic"))
+            .collect()
+    });
     let mut slots = vec![[None; 8]; row_meta.len()];
     for r in results {
         for (row, slot, o) in r? {
@@ -652,7 +657,12 @@ pub fn inverter_vtc(
         inject_obd(&mut exp.circuit, trs[0].device, params, "vtc")?;
     }
     exp.drive_input(a, SourceWave::dc(0.0));
-    let sweep = DcSweep::new(&format!("VPI_{}", exp.node(a).index()), 0.0, tech.vdd, points);
+    let sweep = DcSweep::new(
+        &format!("VPI_{}", exp.node(a).index()),
+        0.0,
+        tech.vdd,
+        points,
+    );
     let res = dc_sweep(&exp.circuit, &SimOptions::new(), &sweep)?;
     Ok(res.transfer_curve(exp.node(y)))
 }
@@ -690,7 +700,12 @@ pub fn delay_vs_temperature(
                     let wave = if v1[i] == v2[i] {
                         SourceWave::dc(lvl(v1[i]))
                     } else {
-                        SourceWave::step(lvl(v1[i]), lvl(v2[i]), cfg.launch_ps * ps, cfg.edge_ps * ps)
+                        SourceWave::step(
+                            lvl(v1[i]),
+                            lvl(v2[i]),
+                            cfg.launch_ps * ps,
+                            cfg.edge_ps * ps,
+                        )
                     };
                     exp.drive_input(pi, wave);
                 }
@@ -711,15 +726,18 @@ pub fn delay_vs_temperature(
                 EdgeKind::Falling
             };
             let out2 = !(v2[0] && v2[1]);
-            let out_edge = if out2 { EdgeKind::Rising } else { EdgeKind::Falling };
+            let out_edge = if out2 {
+                EdgeKind::Rising
+            } else {
+                EdgeKind::Falling
+            };
             let out_node = exp.node(bench.output);
             let t_start = cfg.launch_ps * 1e-12 * 0.5;
-            let outcome = match wave
-                .propagation_delay(in_node, in_edge, out_node, out_edge, half, t_start)
-            {
-                Some(d) => TransitionOutcome::Delay(d / 1e-12),
-                None => TransitionOutcome::Stuck,
-            };
+            let outcome =
+                match wave.propagation_delay(in_node, in_edge, out_node, out_edge, half, t_start) {
+                    Some(d) => TransitionOutcome::Delay(d / 1e-12),
+                    None => TransitionOutcome::Stuck,
+                };
             Ok((t, outcome))
         })
         .collect()
@@ -962,7 +980,11 @@ mod tests {
         let tech = TechParams::date05();
         let cfg = fast_cfg();
         let mut last = 0.0;
-        for stage in [BreakdownStage::FaultFree, BreakdownStage::Mbd1, BreakdownStage::Mbd3] {
+        for stage in [
+            BreakdownStage::FaultFree,
+            BreakdownStage::Mbd1,
+            BreakdownStage::Mbd3,
+        ] {
             let defect = stage.params(Polarity::Nmos).ok().and_then(|p| {
                 (stage != BreakdownStage::FaultFree).then_some(BenchDefect {
                     pin: 0,
@@ -970,8 +992,7 @@ mod tests {
                     params: p,
                 })
             });
-            let d = measure_transition(&tech, defect, [false, true], [true, true], &cfg)
-                .unwrap();
+            let d = measure_transition(&tech, defect, [false, true], [true, true], &cfg).unwrap();
             match d {
                 TransitionOutcome::Delay(ps) => {
                     assert!(ps >= last, "{stage}: {ps} >= {last}");
@@ -994,22 +1015,22 @@ mod tests {
         });
         // (11,01): input A falls — the defective PMOS-A is the sole
         // charging path: delay appears.
-        let excited = measure_transition(&tech, defect_a, [true, true], [false, true], &cfg)
-            .unwrap();
+        let excited =
+            measure_transition(&tech, defect_a, [true, true], [false, true], &cfg).unwrap();
         // (11,10): input B falls — PMOS-B charges: no extra delay.
-        let masked = measure_transition(&tech, defect_a, [true, true], [true, false], &cfg)
-            .unwrap();
+        let masked =
+            measure_transition(&tech, defect_a, [true, true], [true, false], &cfg).unwrap();
         let base = measure_transition(&tech, None, [true, true], [true, false], &cfg)
             .unwrap()
             .delay_ps()
             .unwrap();
         match (excited, masked) {
             (TransitionOutcome::Delay(de), TransitionOutcome::Delay(dm)) => {
+                assert!(de > dm + 20.0, "excited {de} ps must exceed masked {dm} ps");
                 assert!(
-                    de > dm + 20.0,
-                    "excited {de} ps must exceed masked {dm} ps"
+                    (dm - base).abs() < 0.35 * base + 20.0,
+                    "masked {dm} vs base {base}"
                 );
-                assert!((dm - base).abs() < 0.35 * base + 20.0, "masked {dm} vs base {base}");
             }
             (TransitionOutcome::Stuck, TransitionOutcome::Delay(_)) => {
                 // Even stronger manifestation: acceptable.
@@ -1050,10 +1071,11 @@ mod tests {
             polarity: Polarity::Pmos,
             params: p,
         });
-        let base_rise = measure_cell_transition(&tech, kind, None, [true, false], [false, false], &cfg)
-            .unwrap()
-            .delay_ps()
-            .unwrap();
+        let base_rise =
+            measure_cell_transition(&tech, kind, None, [true, false], [false, false], &cfg)
+                .unwrap()
+                .delay_ps()
+                .unwrap();
         for v1 in [[true, false], [false, true]] {
             let o = measure_cell_transition(&tech, kind, d_p, v1, [false, false], &cfg).unwrap();
             match o {
@@ -1071,14 +1093,16 @@ mod tests {
             polarity: Polarity::Nmos,
             params: n,
         });
-        let base_fall = measure_cell_transition(&tech, kind, None, [false, false], [false, true], &cfg)
-            .unwrap()
-            .delay_ps()
-            .unwrap();
-        let excited = measure_cell_transition(&tech, kind, d_n, [false, false], [true, false], &cfg)
-            .unwrap()
-            .delay_ps()
-            .expect("excited NOR NMOS still switches at SBD");
+        let base_fall =
+            measure_cell_transition(&tech, kind, None, [false, false], [false, true], &cfg)
+                .unwrap()
+                .delay_ps()
+                .unwrap();
+        let excited =
+            measure_cell_transition(&tech, kind, d_n, [false, false], [true, false], &cfg)
+                .unwrap()
+                .delay_ps()
+                .expect("excited NOR NMOS still switches at SBD");
         let masked = measure_cell_transition(&tech, kind, d_n, [false, false], [false, true], &cfg)
             .unwrap()
             .delay_ps()
@@ -1087,7 +1111,10 @@ mod tests {
             excited > masked + 30.0,
             "excited {excited} vs masked {masked}"
         );
-        assert!((masked - base_fall).abs() < 40.0, "masked {masked} vs base {base_fall}");
+        assert!(
+            (masked - base_fall).abs() < 40.0,
+            "masked {masked} vs base {base_fall}"
+        );
     }
 
     /// Temperature behavior of the OBD ladder's fitted junctions: at
@@ -1159,7 +1186,11 @@ mod tests {
         let tech = TechParams::date05();
         let healthy = iddq(&tech, None, [true, true]).unwrap();
         let mut last = healthy;
-        for stage in [BreakdownStage::Sbd, BreakdownStage::Mbd2, BreakdownStage::Hbd] {
+        for stage in [
+            BreakdownStage::Sbd,
+            BreakdownStage::Mbd2,
+            BreakdownStage::Hbd,
+        ] {
             let p = stage.params(Polarity::Nmos).unwrap();
             let i = iddq(
                 &tech,
@@ -1193,6 +1224,9 @@ mod tests {
         let v_hbd = vol(BreakdownStage::Hbd);
         assert!(v_ff < 0.1, "fault-free VOL ~ 0, got {v_ff}");
         assert!(v_mbd > v_ff, "MBD must lift VOL: {v_mbd} vs {v_ff}");
-        assert!(v_hbd > v_mbd, "HBD must lift VOL further: {v_hbd} vs {v_mbd}");
+        assert!(
+            v_hbd > v_mbd,
+            "HBD must lift VOL further: {v_hbd} vs {v_mbd}"
+        );
     }
 }

@@ -60,8 +60,26 @@ fn build_bench(tech: &TechParams, cell: &Cell) -> CellBench {
         let pi = ckt.node(&format!("pi{pin}"));
         let mid = ckt.node(&format!("drv{pin}_mid"));
         let din = ckt.node(&format!("din{pin}"));
-        instantiate_cell(&mut ckt, tech, &inv, ph, &[pi], mid, vdd, &format!("d{pin}a"));
-        instantiate_cell(&mut ckt, tech, &inv, ph, &[mid], din, vdd, &format!("d{pin}b"));
+        instantiate_cell(
+            &mut ckt,
+            tech,
+            &inv,
+            ph,
+            &[pi],
+            mid,
+            vdd,
+            &format!("d{pin}a"),
+        );
+        instantiate_cell(
+            &mut ckt,
+            tech,
+            &inv,
+            ph,
+            &[mid],
+            din,
+            vdd,
+            &format!("d{pin}b"),
+        );
         attach_wire_load(&mut ckt, tech, mid);
         attach_wire_load(&mut ckt, tech, din);
         pi_nodes.push(pi);
@@ -122,7 +140,12 @@ pub fn measure_cell(
         let wave = if v1[pin] == v2[pin] {
             SourceWave::dc(lvl(v1[pin]))
         } else {
-            SourceWave::step(lvl(v1[pin]), lvl(v2[pin]), cfg.launch_ps * ps, cfg.edge_ps * ps)
+            SourceWave::step(
+                lvl(v1[pin]),
+                lvl(v2[pin]),
+                cfg.launch_ps * ps,
+                cfg.edge_ps * ps,
+            )
         };
         bench.circuit.add_vsource(Vsource::new(
             &format!("VPI{pin}"),
@@ -148,7 +171,11 @@ pub fn measure_cell(
     } else {
         EdgeKind::Falling
     };
-    let out_edge = if out2 { EdgeKind::Rising } else { EdgeKind::Falling };
+    let out_edge = if out2 {
+        EdgeKind::Rising
+    } else {
+        EdgeKind::Falling
+    };
     let t_start = cfg.launch_ps * ps * 0.5;
     let outcome = wave.propagation_delay(in_node, in_edge, bench.output, out_edge, half, t_start);
     Ok(match outcome {
@@ -241,9 +268,7 @@ mod tests {
         // is not essential. Find one from the complement.
         let masked_pair = crate::excitation::all_input_pairs(3)
             .into_iter()
-            .find(|(v1, v2)| {
-                !cell.eval(v1) && cell.eval(v2) && !excites(&cell, t_a, v1, v2)
-            })
+            .find(|(v1, v2)| !cell.eval(v1) && cell.eval(v2) && !excites(&cell, t_a, v1, v2))
             .expect("a masked rising sequence exists for AOI21");
         let base_m = measure_cell(&tech, &cell, None, &masked_pair.0, &masked_pair.1, &cfg())
             .unwrap()

@@ -106,7 +106,13 @@ mod tests {
     /// standard cells (sole path ⊆ some path).
     #[test]
     fn obd_set_subset_of_em_set() {
-        for cell in [Cell::inverter(), Cell::nand(2), Cell::nand(3), Cell::nor(2), Cell::aoi21()] {
+        for cell in [
+            Cell::inverter(),
+            Cell::nand(2),
+            Cell::nand(3),
+            Cell::nor(2),
+            Cell::aoi21(),
+        ] {
             for t in all_transistors(&cell) {
                 let cmp = compare_excitation(&cell, t);
                 assert!(
@@ -129,7 +135,11 @@ mod tests {
                 leaf,
             };
             let cmp = compare_excitation(&cell, t);
-            assert!(cmp.em_only.is_empty(), "NMOS leaf {leaf}: {:?}", cmp.em_only);
+            assert!(
+                cmp.em_only.is_empty(),
+                "NMOS leaf {leaf}: {:?}",
+                cmp.em_only
+            );
         }
     }
 

@@ -15,9 +15,7 @@ pub type InputPair = (Vec<bool>, Vec<bool>);
 
 /// Formats an input pair like `(01,11)`.
 pub fn format_pair(pair: &InputPair) -> String {
-    let fmt = |v: &[bool]| -> String {
-        v.iter().map(|&b| if b { '1' } else { '0' }).collect()
-    };
+    let fmt = |v: &[bool]| -> String { v.iter().map(|&b| if b { '1' } else { '0' }).collect() };
     format!("({},{})", fmt(&pair.0), fmt(&pair.1))
 }
 
@@ -185,7 +183,12 @@ mod tests {
     fn nand2_minimal_set_is_three_sequences() {
         let cell = Cell::nand(2);
         let min = minimal_cell_test_set(&cell);
-        assert_eq!(min.len(), 3, "{:?}", min.iter().map(format_pair).collect::<Vec<_>>());
+        assert_eq!(
+            min.len(),
+            3,
+            "{:?}",
+            min.iter().map(format_pair).collect::<Vec<_>>()
+        );
         assert!(min.contains(&pair("11", "01")));
         assert!(min.contains(&pair("11", "10")));
         let falling = [pair("00", "11"), pair("01", "11"), pair("10", "11")];

@@ -127,8 +127,18 @@ mod tests {
         let vin = ckt.node("vin");
         let g = ckt.node("g");
         let out = ckt.node("out");
-        ckt.add_vsource(Vsource::new("VDD", vdd, Circuit::GROUND, SourceWave::dc(3.3)));
-        ckt.add_vsource(Vsource::new("VIN", vin, Circuit::GROUND, SourceWave::dc(3.3)));
+        ckt.add_vsource(Vsource::new(
+            "VDD",
+            vdd,
+            Circuit::GROUND,
+            SourceWave::dc(3.3),
+        ));
+        ckt.add_vsource(Vsource::new(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(3.3),
+        ));
         ckt.add_resistor(Resistor::new("Rdrive", vin, g, 5e3));
         ckt.add_resistor(Resistor::new("RL", vdd, out, 20e3));
         ckt.add_capacitor(Capacitor::new("Cg", g, Circuit::GROUND, 2e-15));

@@ -132,10 +132,22 @@ mod tests {
     fn stage_inference_matches_ladder() {
         let table = DelayTable::paper();
         // Paper NMOS extras: SBD 9, MBD1 22, MBD2 54, MBD3 114.
-        assert_eq!(infer_stage(&table, Polarity::Nmos, 10.0), BreakdownStage::Sbd);
-        assert_eq!(infer_stage(&table, Polarity::Nmos, 30.0), BreakdownStage::Mbd1);
-        assert_eq!(infer_stage(&table, Polarity::Nmos, 60.0), BreakdownStage::Mbd2);
-        assert_eq!(infer_stage(&table, Polarity::Nmos, 500.0), BreakdownStage::Mbd3);
+        assert_eq!(
+            infer_stage(&table, Polarity::Nmos, 10.0),
+            BreakdownStage::Sbd
+        );
+        assert_eq!(
+            infer_stage(&table, Polarity::Nmos, 30.0),
+            BreakdownStage::Mbd1
+        );
+        assert_eq!(
+            infer_stage(&table, Polarity::Nmos, 60.0),
+            BreakdownStage::Mbd2
+        );
+        assert_eq!(
+            infer_stage(&table, Polarity::Nmos, 500.0),
+            BreakdownStage::Mbd3
+        );
     }
 
     #[test]
@@ -151,9 +163,7 @@ mod tests {
         let t_mbd2 = prog.time_of_stage(BreakdownStage::Mbd2).unwrap();
         assert!((p.elapsed_hours - t_mbd2).abs() < 0.2, "{p:?}");
         assert!(p.remaining_hours > 0.0);
-        assert!(
-            (p.elapsed_hours + p.remaining_hours - prog.duration_hours).abs() < 1e-9
-        );
+        assert!((p.elapsed_hours + p.remaining_hours - prog.duration_hours).abs() < 1e-9);
     }
 
     #[test]

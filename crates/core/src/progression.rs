@@ -92,9 +92,7 @@ impl ProgressionModel {
     /// reached, inverting the exponential law. Returns `None` if the value
     /// lies outside the modeled range.
     pub fn time_of_isat(&self, isat: f64) -> Option<f64> {
-        if isat < self.isat_start.min(self.isat_end)
-            || isat > self.isat_start.max(self.isat_end)
-        {
+        if isat < self.isat_start.min(self.isat_end) || isat > self.isat_start.max(self.isat_end) {
             return None;
         }
         let u = (isat.ln() - self.isat_start.ln()) / (self.isat_end.ln() - self.isat_start.ln());
@@ -160,7 +158,11 @@ mod tests {
     #[test]
     fn time_of_stage_inverts_params_at() {
         let m = ProgressionModel::reference(Polarity::Nmos);
-        for s in [BreakdownStage::Mbd1, BreakdownStage::Mbd2, BreakdownStage::Mbd3] {
+        for s in [
+            BreakdownStage::Mbd1,
+            BreakdownStage::Mbd2,
+            BreakdownStage::Mbd3,
+        ] {
             let t = m.time_of_stage(s).unwrap();
             assert!(t > 0.0 && t < REFERENCE_SBD_TO_HBD_HOURS);
             let p = m.params_at(t);

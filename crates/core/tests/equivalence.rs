@@ -24,7 +24,11 @@ fn fast_cfg() -> BenchConfig {
     }
 }
 
-fn assert_outcomes_identical(a: Option<TransitionOutcome>, b: Option<TransitionOutcome>, ctx: &str) {
+fn assert_outcomes_identical(
+    a: Option<TransitionOutcome>,
+    b: Option<TransitionOutcome>,
+    ctx: &str,
+) {
     match (a, b) {
         (None, None) => {}
         (Some(TransitionOutcome::Stuck), Some(TransitionOutcome::Stuck)) => {}
@@ -80,7 +84,11 @@ fn cached_delay_table_matches_uncached() {
 
     // A second cached build must be answered entirely from memory...
     let cached_again = DelayTable::from_characterization_cached(&tech, &cfg, &cache).unwrap();
-    assert_eq!(cache.misses(), first_misses, "second build must not simulate");
+    assert_eq!(
+        cache.misses(),
+        first_misses,
+        "second build must not simulate"
+    );
     assert!(cache.hits() >= first_misses);
 
     // ...and all three tables must agree exactly where the model speaks.

@@ -26,6 +26,6 @@ mod matrix;
 mod vector;
 
 pub use error::LinalgError;
-pub use lu::{Lu, LuWorkspace, solve, solve_refined};
+pub use lu::{solve, solve_refined, Lu, LuWorkspace};
 pub use matrix::Matrix;
 pub use vector::{axpy, dot, norm_inf, norm_one, norm_two, scale, sub};

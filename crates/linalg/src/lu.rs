@@ -1,6 +1,6 @@
 //! LU factorization with partial pivoting, plus iterative refinement.
 
-use crate::{Matrix, LinalgError};
+use crate::{LinalgError, Matrix};
 
 /// An LU factorization `P·A = L·U` with partial (row) pivoting.
 ///
@@ -509,7 +509,12 @@ impl LuWorkspace {
             b_norm = b_norm.max(bi.abs());
         }
         if r_norm > REFINE_REL_TOL * b_norm.max(f64::MIN_POSITIVE) {
-            solve_in_place(&self.packed, &self.perm, &self.residual, &mut self.correction);
+            solve_in_place(
+                &self.packed,
+                &self.perm,
+                &self.residual,
+                &mut self.correction,
+            );
             if self.correction.iter().all(|v| v.is_finite()) {
                 for (xi, di) in x.iter_mut().zip(self.correction.iter()) {
                     *xi += di;
@@ -559,10 +564,7 @@ mod tests {
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(
-            Lu::factor(&a),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
     }
 
     #[test]

@@ -198,12 +198,7 @@ impl Matrix {
         assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
         assert_eq!(out.len(), self.rows, "mul_vec output length mismatch");
         for (r, o) in out.iter_mut().enumerate() {
-            *o = self
-                .row(r)
-                .iter()
-                .zip(x.iter())
-                .map(|(a, b)| a * b)
-                .sum();
+            *o = self.row(r).iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         }
     }
 
@@ -372,7 +367,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.mul_mat(&b);
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

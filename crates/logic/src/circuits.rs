@@ -65,7 +65,9 @@ pub fn fig8_sum_circuit() -> Netlist {
 
     // Redundant merge: gm = gmp = !(X1 AND X2) = !X since X1 == X2.
     let gm = nl.add_gate(GateKind::Nand, "gm", &[x1, x2]).expect("fresh");
-    let gmp = nl.add_gate(GateKind::Nand, "gmp", &[x1, x2]).expect("fresh");
+    let gmp = nl
+        .add_gate(GateKind::Nand, "gmp", &[x1, x2])
+        .expect("fresh");
     let xt = nl.add_gate(GateKind::Inv, "xt", &[gm]).expect("fresh");
 
     // Buffered C: c3 = !C (depth 3), c4 = C (depth 4).
@@ -76,15 +78,21 @@ pub fn fig8_sum_circuit() -> Netlist {
 
     // Product terms: g5 = g5p = !(X·!C) (duplicated), g6 = !(!X·C).
     let g5 = nl.add_gate(GateKind::Nand, "g5", &[xt, c3]).expect("fresh");
-    let g5p = nl.add_gate(GateKind::Nand, "g5p", &[xt, c3]).expect("fresh");
-    let g6 = nl.add_gate(GateKind::Nand, "g6", &[gmp, c4]).expect("fresh");
+    let g5p = nl
+        .add_gate(GateKind::Nand, "g5p", &[xt, c3])
+        .expect("fresh");
+    let g6 = nl
+        .add_gate(GateKind::Nand, "g6", &[gmp, c4])
+        .expect("fresh");
 
     let a1 = nl.add_gate(GateKind::Inv, "a1", &[g5]).expect("fresh");
     let a1p = nl.add_gate(GateKind::Inv, "a1p", &[g5p]).expect("fresh");
     let a2 = nl.add_gate(GateKind::Inv, "a2", &[g6]).expect("fresh");
 
     // Redundant merge of the duplicated product term.
-    let b1 = nl.add_gate(GateKind::Nand, "b1", &[a1, a1p]).expect("fresh");
+    let b1 = nl
+        .add_gate(GateKind::Nand, "b1", &[a1, a1p])
+        .expect("fresh");
     let b2 = nl.add_gate(GateKind::Inv, "b2", &[a2]).expect("fresh");
 
     let s = nl.add_gate(GateKind::Nand, "s", &[b1, b2]).expect("fresh");
@@ -216,10 +224,18 @@ pub fn c17() -> Netlist {
     let i7 = nl.add_input("7");
     let g10 = nl.add_gate(GateKind::Nand, "10", &[i1, i3]).expect("fresh");
     let g11 = nl.add_gate(GateKind::Nand, "11", &[i3, i6]).expect("fresh");
-    let g16 = nl.add_gate(GateKind::Nand, "16", &[i2, g11]).expect("fresh");
-    let g19 = nl.add_gate(GateKind::Nand, "19", &[g11, i7]).expect("fresh");
-    let g22 = nl.add_gate(GateKind::Nand, "22", &[g10, g16]).expect("fresh");
-    let g23 = nl.add_gate(GateKind::Nand, "23", &[g16, g19]).expect("fresh");
+    let g16 = nl
+        .add_gate(GateKind::Nand, "16", &[i2, g11])
+        .expect("fresh");
+    let g19 = nl
+        .add_gate(GateKind::Nand, "19", &[g11, i7])
+        .expect("fresh");
+    let g22 = nl
+        .add_gate(GateKind::Nand, "22", &[g10, g16])
+        .expect("fresh");
+    let g23 = nl
+        .add_gate(GateKind::Nand, "23", &[g16, g19])
+        .expect("fresh");
     nl.mark_output(g22);
     nl.mark_output(g23);
     nl
@@ -235,7 +251,9 @@ pub fn mux_tree(sel: usize) -> Netlist {
     assert!((1..=6).contains(&sel), "1..=6 select bits supported");
     let mut nl = Netlist::new();
     let n_data = 1usize << sel;
-    let data: Vec<NetId> = (0..n_data).map(|i| nl.add_input(&format!("d{i}"))).collect();
+    let data: Vec<NetId> = (0..n_data)
+        .map(|i| nl.add_input(&format!("d{i}")))
+        .collect();
     let selects: Vec<NetId> = (0..sel).map(|i| nl.add_input(&format!("s{i}"))).collect();
     let mut layer = data;
     for (si, &s) in selects.iter().enumerate() {
@@ -245,11 +263,7 @@ pub fn mux_tree(sel: usize) -> Netlist {
         let mut next = Vec::new();
         for k in 0..(layer.len() / 2) {
             let t1 = nl
-                .add_gate(
-                    GateKind::Nand,
-                    &format!("m{si}_{k}_a"),
-                    &[layer[2 * k], sn],
-                )
+                .add_gate(GateKind::Nand, &format!("m{si}_{k}_a"), &[layer[2 * k], sn])
                 .expect("fresh");
             let t2 = nl
                 .add_gate(
@@ -430,7 +444,10 @@ mod tests {
             let sum = bits[0] ^ bits[1] ^ bits[2];
             let cout = (bits[0] & bits[1]) | (bits[2] & (bits[0] ^ bits[1]));
             let r = simulate(&nl, &v).unwrap();
-            assert_eq!(r.outputs(&nl), vec![Lv::from_bool(sum), Lv::from_bool(cout)]);
+            assert_eq!(
+                r.outputs(&nl),
+                vec![Lv::from_bool(sum), Lv::from_bool(cout)]
+            );
         }
     }
 
@@ -440,7 +457,9 @@ mod tests {
         let nl = ripple_carry_adder(n);
         // Check 5 + 9 + 1 = 15.
         let encode = |x: usize, width: usize| -> Vec<Lv> {
-            (0..width).map(|i| Lv::from_bool((x >> i) & 1 == 1)).collect()
+            (0..width)
+                .map(|i| Lv::from_bool((x >> i) & 1 == 1))
+                .collect()
         };
         let mut v = encode(5, n);
         v.extend(encode(9, n));

@@ -66,7 +66,9 @@ impl fmt::Display for LogicError {
             LogicError::InputCountMismatch { expected, found } => {
                 write!(f, "expected {expected} input values, got {found}")
             }
-            LogicError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LogicError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             LogicError::NotFound(name) => write!(f, "not found: {name}"),
         }
     }

@@ -43,12 +43,16 @@ pub fn parse_bench(text: &str) -> Result<Netlist, LogicError> {
             continue;
         }
         if let Some(rest) = s.strip_prefix("INPUT(") {
-            let name = rest.strip_suffix(')').ok_or_else(|| parse_err(line, "missing ')'"))?;
+            let name = rest
+                .strip_suffix(')')
+                .ok_or_else(|| parse_err(line, "missing ')'"))?;
             nl.add_input(name.trim());
             continue;
         }
         if let Some(rest) = s.strip_prefix("OUTPUT(") {
-            let name = rest.strip_suffix(')').ok_or_else(|| parse_err(line, "missing ')'"))?;
+            let name = rest
+                .strip_suffix(')')
+                .ok_or_else(|| parse_err(line, "missing ')'"))?;
             pending_outputs.push((line, name.trim().to_string()));
             continue;
         }
@@ -83,8 +87,11 @@ pub fn parse_bench(text: &str) -> Result<Netlist, LogicError> {
     }
 
     // Dependency-ordered instantiation (gates may be listed out of order).
-    let mut defined: HashMap<String, NetId> =
-        nl.inputs().iter().map(|&n| (nl.net_name(n).to_string(), n)).collect();
+    let mut defined: HashMap<String, NetId> = nl
+        .inputs()
+        .iter()
+        .map(|&n| (nl.net_name(n).to_string(), n))
+        .collect();
     let mut remaining = raw_gates;
     while !remaining.is_empty() {
         let before = remaining.len();
@@ -92,9 +99,9 @@ pub fn parse_bench(text: &str) -> Result<Netlist, LogicError> {
         for rg in remaining {
             if rg.inputs.iter().all(|i| defined.contains_key(i)) {
                 let ids: Vec<NetId> = rg.inputs.iter().map(|i| defined[i]).collect();
-                let out = nl.add_gate(rg.kind, &rg.name, &ids).map_err(|e| {
-                    parse_err(rg.line, &e.to_string())
-                })?;
+                let out = nl
+                    .add_gate(rg.kind, &rg.name, &ids)
+                    .map_err(|e| parse_err(rg.line, &e.to_string()))?;
                 defined.insert(rg.name.clone(), out);
             } else {
                 next_round.push(rg);
@@ -143,7 +150,12 @@ pub fn to_bench(nl: &Netlist) -> String {
     }
     for g in nl.gates() {
         let args: Vec<&str> = g.inputs.iter().map(|&n| nl.net_name(n)).collect();
-        s.push_str(&format!("{} = {}({})\n", g.name, g.kind.name(), args.join(", ")));
+        s.push_str(&format!(
+            "{} = {}({})\n",
+            g.name,
+            g.kind.name(),
+            args.join(", ")
+        ));
     }
     s
 }
@@ -212,7 +224,10 @@ mod tests {
     #[test]
     fn bad_kind_reported() {
         let text = "INPUT(a)\ny = FROB(a)\n";
-        assert!(matches!(parse_bench(text), Err(LogicError::Parse { line: 2, .. })));
+        assert!(matches!(
+            parse_bench(text),
+            Err(LogicError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

@@ -311,12 +311,7 @@ impl Netlist {
         let mut depth = vec![0usize; self.num_nets()];
         for g in order {
             let gate = &self.gates[g.0];
-            let d = gate
-                .inputs
-                .iter()
-                .map(|n| depth[n.0])
-                .max()
-                .unwrap_or(0);
+            let d = gate.inputs.iter().map(|n| depth[n.0]).max().unwrap_or(0);
             depth[gate.output.0] = d + 1;
         }
         Ok(depth)
@@ -329,12 +324,7 @@ impl Netlist {
     /// Propagates [`Netlist::levelize`] failures.
     pub fn max_depth(&self) -> Result<usize, LogicError> {
         let depth = self.depths()?;
-        Ok(self
-            .outputs
-            .iter()
-            .map(|n| depth[n.0])
-            .max()
-            .unwrap_or(0))
+        Ok(self.outputs.iter().map(|n| depth[n.0]).max().unwrap_or(0))
     }
 
     /// Counts gates of a given kind.

@@ -195,11 +195,7 @@ mod tests {
     fn full_64_pattern_block() {
         let nl = sample();
         let vectors: Vec<Vec<Lv>> = (0..64)
-            .map(|k| {
-                (0..3)
-                    .map(|i| Lv::from_bool((k >> i) & 1 == 1))
-                    .collect()
-            })
+            .map(|k| (0..3).map(|i| Lv::from_bool((k >> i) & 1 == 1)).collect())
             .collect();
         let block = PatternBlock::pack(&vectors);
         assert_eq!(block.mask(), !0u64);

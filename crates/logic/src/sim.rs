@@ -119,11 +119,7 @@ impl TwoPatternResult {
 /// # Errors
 ///
 /// Propagates [`simulate`] failures.
-pub fn simulate_two(
-    nl: &Netlist,
-    v1: &[Lv],
-    v2: &[Lv],
-) -> Result<TwoPatternResult, LogicError> {
+pub fn simulate_two(nl: &Netlist, v1: &[Lv], v2: &[Lv]) -> Result<TwoPatternResult, LogicError> {
     let order = nl.levelize()?;
     Ok(TwoPatternResult {
         first: simulate_with_order(nl, &order, v1)?,

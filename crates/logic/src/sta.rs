@@ -57,7 +57,11 @@ impl TimingReport {
 /// # Errors
 ///
 /// Propagates levelization failures.
-pub fn analyze(nl: &Netlist, delays: &DelayModel, clock_ps: f64) -> Result<TimingReport, LogicError> {
+pub fn analyze(
+    nl: &Netlist,
+    delays: &DelayModel,
+    clock_ps: f64,
+) -> Result<TimingReport, LogicError> {
     let order = nl.levelize()?;
     let n_nets = nl.num_nets();
     let mut arrivals = vec![0.0f64; n_nets];
@@ -165,7 +169,7 @@ mod tests {
         let delays = DelayModel::uniform(10.0, 10.0);
         let r = analyze(&nl, &delays, 50.0).unwrap();
         assert_eq!(r.arrival(y), 30.0); // through the 2-stage branch
-        // The fast branch has more slack than the slow branch.
+                                        // The fast branch has more slack than the slow branch.
         assert!(r.slack(fast) > r.slack(slow2));
         assert!((r.slack(slow2) - 20.0).abs() < 1e-9);
         assert!((r.slack(fast) - 30.0).abs() < 1e-9);

@@ -152,15 +152,15 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let mid = c.node("mid");
-        c.add_vsource(Vsource::new("VIN", vin, Circuit::GROUND, SourceWave::dc(0.0)));
+        c.add_vsource(Vsource::new(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(0.0),
+        ));
         c.add_resistor(Resistor::new("R1", vin, mid, 1e3));
         c.add_resistor(Resistor::new("R2", mid, Circuit::GROUND, 1e3));
-        let res = dc_sweep(
-            &c,
-            &SimOptions::new(),
-            &DcSweep::new("VIN", 0.0, 2.0, 5),
-        )
-        .unwrap();
+        let res = dc_sweep(&c, &SimOptions::new(), &DcSweep::new("VIN", 0.0, 2.0, 5)).unwrap();
         assert_eq!(res.len(), 5);
         for (vin, vout) in res.transfer_curve(mid) {
             assert!((vout - vin / 2.0).abs() < 1e-9);
@@ -172,19 +172,19 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         c.add_resistor(Resistor::new("R1", vin, Circuit::GROUND, 1e3));
-        assert!(dc_sweep(
-            &c,
-            &SimOptions::new(),
-            &DcSweep::new("VIN", 0.0, 1.0, 3)
-        )
-        .is_err());
+        assert!(dc_sweep(&c, &SimOptions::new(), &DcSweep::new("VIN", 0.0, 1.0, 3)).is_err());
     }
 
     #[test]
     fn sweep_rejects_single_point() {
         let mut c = Circuit::new();
         let vin = c.node("in");
-        c.add_vsource(Vsource::new("VIN", vin, Circuit::GROUND, SourceWave::dc(0.0)));
+        c.add_vsource(Vsource::new(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(0.0),
+        ));
         c.add_resistor(Resistor::new("R1", vin, Circuit::GROUND, 1e3));
         assert!(matches!(
             dc_sweep(&c, &SimOptions::new(), &DcSweep::new("VIN", 0.0, 1.0, 1)),

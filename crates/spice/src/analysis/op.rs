@@ -93,7 +93,12 @@ mod tests {
     fn supply_current_of_divider() {
         let mut c = Circuit::new();
         let vin = c.node("in");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(2.0)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(2.0),
+        ));
         c.add_resistor(Resistor::new("R1", vin, Circuit::GROUND, 1e3));
         let op = operating_point(&c, &SimOptions::new()).unwrap();
         // 2 mA magnitude, flowing out of the plus terminal.

@@ -132,7 +132,15 @@ pub fn transient_with_options(
                 *p = 2.0 * cur - prev;
             }
             stepped = attempt_step(
-                ckt, &mut solver, opts, params, &x_pred, &mut x_next, target, t, first_step,
+                ckt,
+                &mut solver,
+                opts,
+                params,
+                &x_pred,
+                &mut x_next,
+                target,
+                t,
+                first_step,
             )
             .is_ok();
         }
@@ -225,8 +233,30 @@ fn advance_to(
             // midpoint scratch without disturbing the steady-state loop.
             let mid = 0.5 * (t0 + t1);
             let mut xm = Vec::with_capacity(x0.len());
-            advance_to(ckt, solver, opts, params, x0, &mut xm, t0, mid, startup, halvings_left - 1)?;
-            advance_to(ckt, solver, opts, params, &xm, out, mid, t1, false, halvings_left - 1)
+            advance_to(
+                ckt,
+                solver,
+                opts,
+                params,
+                x0,
+                &mut xm,
+                t0,
+                mid,
+                startup,
+                halvings_left - 1,
+            )?;
+            advance_to(
+                ckt,
+                solver,
+                opts,
+                params,
+                &xm,
+                out,
+                mid,
+                t1,
+                false,
+                halvings_left - 1,
+            )
         }
         Err(e) => Err(SpiceError::Convergence {
             analysis: "tran",
@@ -287,11 +317,18 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let out = c.node("out");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(2.0)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(2.0),
+        ));
         c.add_resistor(Resistor::new("R1", vin, out, 1e3));
         c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
         // UIC start: cap begins at 0, charges to 2.
-        let params = TranParams::new(20e-12, 10e-9).with_backward_euler().with_uic();
+        let params = TranParams::new(20e-12, 10e-9)
+            .with_backward_euler()
+            .with_uic();
         let wave = transient(&c, &params).unwrap();
         assert!((wave.final_value(out) - 2.0).abs() < 1e-3);
     }
@@ -301,7 +338,12 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let out = c.node("out");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(1.5)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(1.5),
+        ));
         c.add_resistor(Resistor::new("R1", vin, out, 1e3));
         c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
         let wave = transient(&c, &TranParams::new(50e-12, 2e-9)).unwrap();
@@ -314,7 +356,12 @@ mod tests {
     fn rejects_bad_window() {
         let mut c = Circuit::new();
         let vin = c.node("in");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(1.0)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(1.0),
+        ));
         c.add_resistor(Resistor::new("R1", vin, Circuit::GROUND, 1e3));
         assert!(transient(&c, &TranParams::new(0.0, 1e-9)).is_err());
         assert!(transient(&c, &TranParams::new(1e-9, -1.0)).is_err());
@@ -329,7 +376,12 @@ mod tests {
             let mut c = Circuit::new();
             let vin = c.node("in");
             let out = c.node("out");
-            c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(1.0)));
+            c.add_vsource(Vsource::new(
+                "V1",
+                vin,
+                Circuit::GROUND,
+                SourceWave::dc(1.0),
+            ));
             c.add_resistor(Resistor::new("R1", vin, out, 1e3));
             c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
             (c, out)
@@ -340,7 +392,9 @@ mod tests {
         let (c2, out2) = build();
         let be = transient(
             &c2,
-            &TranParams::new(coarse, 2e-9).with_backward_euler().with_uic(),
+            &TranParams::new(coarse, 2e-9)
+                .with_backward_euler()
+                .with_uic(),
         )
         .unwrap();
         let t_probe = 1.0e-9;

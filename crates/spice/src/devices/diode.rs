@@ -224,12 +224,7 @@ mod tests {
         let (i, g) = d.eval(50.0);
         assert!(i.is_finite() && g.is_finite());
         // The tiny-isat OBD regime must also be finite at full supply.
-        let tiny = Diode::new(
-            "D2",
-            d.anode,
-            d.cathode,
-            DiodeParams::new(1e-30),
-        );
+        let tiny = Diode::new("D2", d.anode, d.cathode, DiodeParams::new(1e-30));
         let (i2, g2) = tiny.eval(3.3);
         assert!(i2.is_finite() && g2.is_finite() && i2 > 0.0);
     }

@@ -15,7 +15,7 @@ mod sources;
 
 pub use capacitor::Capacitor;
 pub use diode::{pnjlim, Diode, DiodeParams};
-pub use mosfet::{Mosfet, MosParams, MosPolarity};
+pub use mosfet::{MosParams, MosPolarity, Mosfet};
 pub use resistor::Resistor;
 pub use sources::{Isource, PulseSpec, SourceWave, Vsource};
 

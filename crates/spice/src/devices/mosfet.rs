@@ -215,13 +215,7 @@ impl Mosfet {
         }
     }
 
-    pub(crate) fn stamp(
-        &self,
-        st: &mut Stamp,
-        x: &[f64],
-        ctx: &EvalCtx,
-        _state: &mut DeviceState,
-    ) {
+    pub(crate) fn stamp(&self, st: &mut Stamp, x: &[f64], ctx: &EvalCtx, _state: &mut DeviceState) {
         let s = self.polarity.sign();
         let vd = st.voltage(x, self.drain);
         let vg = st.voltage(x, self.gate);

@@ -249,8 +249,14 @@ mod tests {
     #[test]
     fn pwl_validation() {
         assert!(SourceWave::Pwl(vec![]).validate().is_err());
-        assert!(SourceWave::pwl(vec![(1.0, 0.0), (0.5, 1.0)]).validate().is_err());
-        assert!(SourceWave::pwl(vec![(0.0, 0.0), (1.0, f64::NAN)]).validate().is_err());
-        assert!(SourceWave::pwl(vec![(0.0, 0.0), (1.0, 1.0)]).validate().is_ok());
+        assert!(SourceWave::pwl(vec![(1.0, 0.0), (0.5, 1.0)])
+            .validate()
+            .is_err());
+        assert!(SourceWave::pwl(vec![(0.0, 0.0), (1.0, f64::NAN)])
+            .validate()
+            .is_err());
+        assert!(SourceWave::pwl(vec![(0.0, 0.0), (1.0, 1.0)])
+            .validate()
+            .is_ok());
     }
 }

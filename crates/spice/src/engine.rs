@@ -338,7 +338,9 @@ impl<'c> Solver<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::devices::{DiodeParams, Diode, MosParams, Mosfet, MosPolarity, Resistor, SourceWave, Vsource};
+    use crate::devices::{
+        Diode, DiodeParams, MosParams, MosPolarity, Mosfet, Resistor, SourceWave, Vsource,
+    };
     use crate::Circuit;
 
     #[test]
@@ -346,7 +348,12 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let mid = c.node("mid");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(2.0)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(2.0),
+        ));
         c.add_resistor(Resistor::new("R1", vin, mid, 1e3));
         c.add_resistor(Resistor::new("R2", mid, Circuit::GROUND, 1e3));
         let opts = SimOptions::new();
@@ -360,9 +367,19 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let a = c.node("a");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(3.0)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(3.0),
+        ));
         c.add_resistor(Resistor::new("R1", vin, a, 1e3));
-        c.add_diode(Diode::new("D1", a, Circuit::GROUND, DiodeParams::new(1e-14)));
+        c.add_diode(Diode::new(
+            "D1",
+            a,
+            Circuit::GROUND,
+            DiodeParams::new(1e-14),
+        ));
         let opts = SimOptions::new();
         let mut s = Solver::new(&c, &opts).unwrap();
         let x = s.operating_point().unwrap();
@@ -380,9 +397,19 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let a = c.node("a");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(3.3)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(3.3),
+        ));
         c.add_resistor(Resistor::new("R1", vin, a, 500.0));
-        c.add_diode(Diode::new("D1", a, Circuit::GROUND, DiodeParams::new(1e-30)));
+        c.add_diode(Diode::new(
+            "D1",
+            a,
+            Circuit::GROUND,
+            DiodeParams::new(1e-30),
+        ));
         let opts = SimOptions::new();
         let mut s = Solver::new(&c, &opts).unwrap();
         let x = s.operating_point().unwrap();
@@ -427,9 +454,19 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let mid = c.node("mid");
-        c.add_vsource(Vsource::new("V1", vin, Circuit::GROUND, SourceWave::dc(3.3)));
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(3.3),
+        ));
         c.add_diode(Diode::new("D1", vin, mid, DiodeParams::new(1e-14)));
-        c.add_diode(Diode::new("D2", Circuit::GROUND, mid, DiodeParams::new(1e-14)));
+        c.add_diode(Diode::new(
+            "D2",
+            Circuit::GROUND,
+            mid,
+            DiodeParams::new(1e-14),
+        ));
         let opts = SimOptions::new();
         let mut s = Solver::new(&c, &opts).unwrap();
         let x = s.operating_point().unwrap();
@@ -446,8 +483,18 @@ mod tests {
             let vdd = c.node("vdd");
             let vin = c.node("in");
             let out = c.node("out");
-            c.add_vsource(Vsource::new("VDD", vdd, Circuit::GROUND, SourceWave::dc(3.3)));
-            c.add_vsource(Vsource::new("VIN", vin, Circuit::GROUND, SourceWave::dc(vin_v)));
+            c.add_vsource(Vsource::new(
+                "VDD",
+                vdd,
+                Circuit::GROUND,
+                SourceWave::dc(3.3),
+            ));
+            c.add_vsource(Vsource::new(
+                "VIN",
+                vin,
+                Circuit::GROUND,
+                SourceWave::dc(vin_v),
+            ));
             c.add_resistor(Resistor::new("RL", vdd, out, 10e3));
             c.add_mosfet(Mosfet::new(
                 "M1",

@@ -38,7 +38,10 @@ impl fmt::Display for SpiceError {
                 at,
                 detail,
             } => match at {
-                Some(t) => write!(f, "{analysis} analysis failed to converge at {t:.4e}: {detail}"),
+                Some(t) => write!(
+                    f,
+                    "{analysis} analysis failed to converge at {t:.4e}: {detail}"
+                ),
                 None => write!(f, "{analysis} analysis failed to converge: {detail}"),
             },
             SpiceError::Singular { detail } => write!(f, "singular MNA matrix: {detail}"),

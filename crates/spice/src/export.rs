@@ -120,7 +120,13 @@ fn node(ckt: &Circuit, n: crate::NodeId) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -148,14 +154,19 @@ fn wave(w: &SourceWave) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::devices::{Capacitor, DiodeParams, Diode, MosParams, Mosfet, Resistor, Vsource};
+    use crate::devices::{Capacitor, Diode, DiodeParams, MosParams, Mosfet, Resistor, Vsource};
 
     fn sample() -> Circuit {
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
         let inp = c.node("in");
         let out = c.node("out");
-        c.add_vsource(Vsource::new("VDD", vdd, Circuit::GROUND, SourceWave::dc(3.3)));
+        c.add_vsource(Vsource::new(
+            "VDD",
+            vdd,
+            Circuit::GROUND,
+            SourceWave::dc(3.3),
+        ));
         c.add_vsource(Vsource::new(
             "VIN",
             inp,
@@ -164,7 +175,12 @@ mod tests {
         ));
         c.add_resistor(Resistor::new("R1", vdd, out, 10e3));
         c.add_capacitor(Capacitor::new("CL", out, Circuit::GROUND, 5e-15));
-        c.add_diode(Diode::new("D1", out, Circuit::GROUND, DiodeParams::new(1e-14)));
+        c.add_diode(Diode::new(
+            "D1",
+            out,
+            Circuit::GROUND,
+            DiodeParams::new(1e-14),
+        ));
         c.add_mosfet(Mosfet::new(
             "M1",
             MosPolarity::Nmos,

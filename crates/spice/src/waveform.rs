@@ -80,16 +80,12 @@ impl Waveform {
 
     /// Voltage trace of a node, if recorded.
     pub fn trace_opt(&self, n: NodeId) -> Option<&[f64]> {
-        self.traces
-            .get(n.index())
-            .and_then(|t| t.as_deref())
+        self.traces.get(n.index()).and_then(|t| t.as_deref())
     }
 
     /// Branch-current trace of the `k`-th voltage source, if recorded.
     pub fn source_current(&self, k: usize) -> Option<&[f64]> {
-        self.source_currents
-            .get(k)
-            .and_then(|t| t.as_deref())
+        self.source_currents.get(k).and_then(|t| t.as_deref())
     }
 
     /// All times at which `trace` crosses `level` in the given direction,
@@ -238,7 +234,11 @@ mod tests {
         // Triangle: rises 0..1 over 0..10, falls back to 0 at t=20.
         for i in 0..=20 {
             let t = i as f64;
-            let v = if t <= 10.0 { t / 10.0 } else { (20.0 - t) / 10.0 };
+            let v = if t <= 10.0 {
+                t / 10.0
+            } else {
+                (20.0 - t) / 10.0
+            };
             w.push_sample(t, [(n, v)], []);
         }
         (w, n)

@@ -6,7 +6,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use obd_spice::devices::{
-    Capacitor, Diode, DiodeParams, EvalCtx, Integration, MosParams, Mosfet, MosPolarity, Resistor,
+    Capacitor, Diode, DiodeParams, EvalCtx, Integration, MosParams, MosPolarity, Mosfet, Resistor,
     SourceWave, Vsource,
 };
 use obd_spice::engine::Solver;
@@ -50,8 +50,18 @@ fn mixed_circuit() -> Circuit {
     let vin = c.node("in");
     let out = c.node("out");
     let mid = c.node("mid");
-    c.add_vsource(Vsource::new("VDD", vdd, Circuit::GROUND, SourceWave::dc(3.3)));
-    c.add_vsource(Vsource::new("VIN", vin, Circuit::GROUND, SourceWave::dc(1.8)));
+    c.add_vsource(Vsource::new(
+        "VDD",
+        vdd,
+        Circuit::GROUND,
+        SourceWave::dc(3.3),
+    ));
+    c.add_vsource(Vsource::new(
+        "VIN",
+        vin,
+        Circuit::GROUND,
+        SourceWave::dc(1.8),
+    ));
     c.add_resistor(Resistor::new("RL", vdd, out, 10e3));
     c.add_mosfet(Mosfet::new(
         "M1",
@@ -71,7 +81,12 @@ fn mixed_circuit() -> Circuit {
         },
     ));
     c.add_resistor(Resistor::new("R2", out, mid, 2e3));
-    c.add_diode(Diode::new("D1", mid, Circuit::GROUND, DiodeParams::new(1e-14)));
+    c.add_diode(Diode::new(
+        "D1",
+        mid,
+        Circuit::GROUND,
+        DiodeParams::new(1e-14),
+    ));
     c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 0.1e-12));
     c
 }

@@ -5,7 +5,7 @@ use obd_spice::analysis::dc::{dc_sweep, DcSweep};
 use obd_spice::analysis::op::operating_point;
 use obd_spice::analysis::tran::{transient, TranParams};
 use obd_spice::devices::{
-    Capacitor, Diode, DiodeParams, Isource, MosParams, Mosfet, MosPolarity, Resistor, SourceWave,
+    Capacitor, Diode, DiodeParams, Isource, MosParams, MosPolarity, Mosfet, Resistor, SourceWave,
     Vsource,
 };
 use obd_spice::{Circuit, SimOptions, THERMAL_VOLTAGE};
@@ -48,7 +48,12 @@ fn resistor_ladder_matches_series_formula() {
     let vtotal = 5.0;
     let mut ckt = Circuit::new();
     let top = ckt.node("top");
-    ckt.add_vsource(Vsource::new("V", top, Circuit::GROUND, SourceWave::dc(vtotal)));
+    ckt.add_vsource(Vsource::new(
+        "V",
+        top,
+        Circuit::GROUND,
+        SourceWave::dc(vtotal),
+    ));
     let mut prev = top;
     let mut nodes = Vec::new();
     for (i, &r) in rs.iter().enumerate() {
@@ -69,7 +74,10 @@ fn resistor_ladder_matches_series_formula() {
         let expect = vtotal * (1.0 - drop / rsum);
         let got = op.voltage(nodes[i]);
         // gmin loading (1e-12 S per node) shifts results at the 1e-8 level.
-        assert!((got - expect).abs() < 1e-6 * expect, "node {i}: {got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 1e-6 * expect,
+            "node {i}: {got} vs {expect}"
+        );
     }
 }
 
@@ -122,8 +130,18 @@ fn inverter_switching_threshold_matches_analytic() {
     let nvdd = ckt.node("vdd");
     let nin = ckt.node("in");
     let nout = ckt.node("out");
-    ckt.add_vsource(Vsource::new("VDD", nvdd, Circuit::GROUND, SourceWave::dc(vdd)));
-    ckt.add_vsource(Vsource::new("VIN", nin, Circuit::GROUND, SourceWave::dc(0.0)));
+    ckt.add_vsource(Vsource::new(
+        "VDD",
+        nvdd,
+        Circuit::GROUND,
+        SourceWave::dc(vdd),
+    ));
+    ckt.add_vsource(Vsource::new(
+        "VIN",
+        nin,
+        Circuit::GROUND,
+        SourceWave::dc(0.0),
+    ));
     let params = |vt0: f64, kp_: f64, w: f64| MosParams {
         vt0,
         kp: kp_,
@@ -151,7 +169,12 @@ fn inverter_switching_threshold_matches_analytic() {
         nvdd,
         params(vtp, kp, wp),
     ));
-    let res = dc_sweep(&ckt, &SimOptions::new(), &DcSweep::new("VIN", 0.0, vdd, 331)).unwrap();
+    let res = dc_sweep(
+        &ckt,
+        &SimOptions::new(),
+        &DcSweep::new("VIN", 0.0, vdd, 331),
+    )
+    .unwrap();
     // Find vin where vout crosses vdd/2.
     let curve = res.transfer_curve(nout);
     let vm_sim = curve
@@ -190,10 +213,7 @@ fn rc_discharge_exponential() {
         let t = 1e-9 + k as f64 * 1e-9;
         let expect = 2.0 * (-(k as f64)).exp();
         let got = wave.sample_at(out, t);
-        assert!(
-            (got - expect).abs() < 0.02,
-            "t={k}tau: {got} vs {expect}"
-        );
+        assert!((got - expect).abs() < 0.02, "t={k}tau: {got} vs {expect}");
     }
 }
 
@@ -263,6 +283,9 @@ fn pwl_stays_in_hull() {
         let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         let w = SourceWave::pwl(pts);
         let v = w.value(t);
-        assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "t={t}: {v} outside [{lo}, {hi}]");
+        assert!(
+            v >= lo - 1e-12 && v <= hi + 1e-12,
+            "t={t}: {v} outside [{lo}, {hi}]"
+        );
     }
 }

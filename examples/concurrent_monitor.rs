@@ -83,9 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\nprognosis: extra delay {extra:.0} ps -> stage {}, ~{:.1} h since SBD, ~{:.1} h before hard breakdown",
             p.stage, p.elapsed_hours, p.remaining_hours
         );
-        if let Some(w) =
-            detection_window(&table, &prog, localized.fault.polarity, 50.0)
-        {
+        if let Some(w) = detection_window(&table, &prog, localized.fault.polarity, 50.0) {
             println!(
                 "schedule: with 50 ps detection slack, re-test every {:.1} h and repair before t = {:.1} h",
                 w.test_interval_hours(4),

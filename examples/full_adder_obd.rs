@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stage = BreakdownStage::Mbd2;
     let sites = enumerate_sites(&nl, stage, true);
-    println!("OBD defect sites in the NAND gates: {} (paper: 56)", sites.len());
+    println!(
+        "OBD defect sites in the NAND gates: {} (paper: 56)",
+        sites.len()
+    );
 
     // ATPG over every site, with per-fault verdicts.
     let mut atpg = TwoFrameAtpg::new(&nl)?;

@@ -44,9 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     fs::write("nand_characterization/fig4_vtc.csv", &csv)?;
-    println!("VOL shift (vin = VDD): fault-free {:.3} V -> HBD {:.3} V",
+    println!(
+        "VOL shift (vin = VDD): fault-free {:.3} V -> HBD {:.3} V",
         curves[0].last().unwrap().1,
-        curves[3].last().unwrap().1);
+        curves[3].last().unwrap().1
+    );
 
     println!("\nartifacts in nand_characterization/");
     Ok(())

@@ -36,12 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             polarity: Polarity::Nmos,
             params,
         };
-        let outcome =
-            measure_transition(&tech, Some(defect), [false, true], [true, true], &cfg)?;
-        println!("{stage:>10}: isat={:.1e} A, r_bd={:>7.2} Ω  ->  {}",
+        let outcome = measure_transition(&tech, Some(defect), [false, true], [true, true], &cfg)?;
+        println!(
+            "{stage:>10}: isat={:.1e} A, r_bd={:>7.2} Ω  ->  {}",
             params.isat,
             params.r_bd,
-            outcome.render(false));
+            outcome.render(false)
+        );
     }
 
     // The same defect in a PMOS transistor is only visible for the one
@@ -56,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let masked = measure_transition(&tech, Some(defect), [true, true], [true, false], &cfg)?;
     println!("\nPMOS-A defect at MBD2:");
     println!("  (11,01) — A falls alone:  {}", excited.render(true));
-    println!("  (11,10) — B falls instead: {} (defect invisible)", masked.render(true));
+    println!(
+        "  (11,10) — B falls instead: {} (defect invisible)",
+        masked.render(true)
+    );
     Ok(())
 }

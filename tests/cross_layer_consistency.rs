@@ -10,7 +10,9 @@
 use obd_suite::cmos::cell::Cell;
 use obd_suite::cmos::switch::{excites, CellTransistor, NetworkSide};
 use obd_suite::cmos::TechParams;
-use obd_suite::obd::characterize::{measure_transition, BenchConfig, BenchDefect, TransitionOutcome};
+use obd_suite::obd::characterize::{
+    measure_transition, BenchConfig, BenchDefect, TransitionOutcome,
+};
 use obd_suite::obd::faultmodel::Polarity;
 use obd_suite::obd::BreakdownStage;
 
@@ -47,8 +49,20 @@ fn switch_level_excitation_matches_analog_for_every_nand_sequence() {
     // which the quasi-static excitation model deliberately does not
     // cover. PMOS is checked at MBD2, the paper's 736 ps row.
     let cases = [
-        (NetworkSide::Pulldown, Polarity::Nmos, BreakdownStage::Sbd, 60.0, 40.0),
-        (NetworkSide::Pullup, Polarity::Pmos, BreakdownStage::Mbd2, 60.0, 90.0),
+        (
+            NetworkSide::Pulldown,
+            Polarity::Nmos,
+            BreakdownStage::Sbd,
+            60.0,
+            40.0,
+        ),
+        (
+            NetworkSide::Pullup,
+            Polarity::Pmos,
+            BreakdownStage::Mbd2,
+            60.0,
+            90.0,
+        ),
     ];
     for (side, polarity, stage, masked_tol_ps, excited_min_ps) in cases {
         for leaf in 0..2 {
@@ -143,9 +157,7 @@ fn nor_duality_holds_in_analog_model_via_switch_predicate() {
 #[test]
 fn nmos_static_corruption_beyond_mbd2() {
     let tech = TechParams::date05();
-    let params = BreakdownStage::Mbd2
-        .params(Polarity::Nmos)
-        .expect("ladder");
+    let params = BreakdownStage::Mbd2.params(Polarity::Nmos).expect("ladder");
     let defect = BenchDefect {
         pin: 1,
         polarity: Polarity::Nmos,

@@ -121,5 +121,8 @@ fn table1_ladder_values_match_paper() {
         assert_eq!(p.isat, isat, "{stage}/{pol} isat");
         assert_eq!(p.r_bd, r, "{stage}/{pol} r");
     }
-    assert!(BreakdownStage::Hbd.params(Polarity::Pmos).is_err(), "paper: N/A");
+    assert!(
+        BreakdownStage::Hbd.params(Polarity::Pmos).is_err(),
+        "paper: N/A"
+    );
 }

@@ -201,7 +201,8 @@ fn obd_atpg_verdicts_are_sound() {
         let mut atpg = TwoFrameAtpg::new(&nl).unwrap();
         let sim = FaultSimulator::new(&nl).unwrap();
         let all_tests: Vec<TwoPatternTest> = obd_suite::atpg::random::exhaustive_two_pattern(4);
-        for f in obd_suite::atpg::fault::obd_faults(&nl, obd_suite::obd::BreakdownStage::Mbd2, false)
+        for f in
+            obd_suite::atpg::fault::obd_faults(&nl, obd_suite::obd::BreakdownStage::Mbd2, false)
         {
             match atpg.generate(&f).unwrap() {
                 GenOutcome::Test(t) => {
