@@ -25,6 +25,12 @@ use obd_logic::value::Lv;
 
 use crate::fault::{DetectionCriterion, Fault, SlowTo, TwoPatternTest};
 use crate::AtpgError;
+use obd_metrics::Counter;
+
+/// Faults graded (per grading call, counted once per fault).
+static FAULTS_GRADED: Counter = Counter::new("atpg.faults_graded");
+/// Faults found detected by a grading call.
+static FAULTS_DETECTED: Counter = Counter::new("atpg.faults_detected");
 
 /// A prepared fault simulator for one netlist.
 #[derive(Debug)]
@@ -314,6 +320,8 @@ impl<'a> FaultSimulator<'a> {
                 }
             }
         }
+        FAULTS_GRADED.add(faults.len() as u64);
+        FAULTS_DETECTED.add(detected.iter().filter(|&&d| d).count() as u64);
         Ok(detected)
     }
 
@@ -359,6 +367,8 @@ impl<'a> FaultSimulator<'a> {
         for r in results {
             out.extend(r?);
         }
+        FAULTS_GRADED.add(faults.len() as u64);
+        FAULTS_DETECTED.add(out.iter().filter(|&&d| d).count() as u64);
         Ok(out)
     }
 

@@ -17,6 +17,21 @@ use obd_logic::value::Lv;
 
 use crate::scoap::Scoap;
 use crate::AtpgError;
+use obd_metrics::{Counter, Histogram};
+
+/// PODEM searches run (one per fault targeting attempt).
+static PODEM_RUNS: Counter = Counter::new("atpg.podem_runs");
+/// Total PODEM backtracks across all runs.
+static PODEM_BACKTRACKS: Counter = Counter::new("atpg.podem_backtracks");
+/// Runs that hit the backtrack limit and aborted.
+static PODEM_ABORTS: Counter = Counter::new("atpg.podem_aborts");
+/// Two-machine implication passes.
+static PODEM_IMPLICATIONS: Counter = Counter::new("atpg.podem_implications");
+/// Backtracks needed per PODEM run.
+static PODEM_BACKTRACKS_PER_RUN: Histogram = Histogram::new(
+    "atpg.podem_backtracks_per_run",
+    &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256],
+);
 
 /// Outcome of a PODEM run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,11 +122,18 @@ impl<'a> Podem<'a> {
             faulty: vec![Lv::X; self.nl.num_nets()],
         };
         self.backtracks = 0;
+        PODEM_RUNS.inc();
         self.imply(req, &mut state);
-        match self.search(req, &mut state) {
+        let result = self.search(req, &mut state);
+        PODEM_BACKTRACKS.add(self.backtracks as u64);
+        PODEM_BACKTRACKS_PER_RUN.record(self.backtracks as u64);
+        match result {
             SearchResult::Found => PodemOutcome::Test(state.pis),
             SearchResult::Exhausted => PodemOutcome::Untestable,
-            SearchResult::Aborted => PodemOutcome::Aborted,
+            SearchResult::Aborted => {
+                PODEM_ABORTS.inc();
+                PodemOutcome::Aborted
+            }
         }
     }
 }
@@ -132,6 +154,7 @@ enum SearchResult {
 impl<'a> Podem<'a> {
     /// Full two-machine implication from the current PI assignment.
     fn imply(&self, req: &PodemRequest, st: &mut State) {
+        PODEM_IMPLICATIONS.inc();
         for v in st.good.iter_mut() {
             *v = Lv::X;
         }

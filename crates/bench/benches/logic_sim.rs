@@ -18,7 +18,7 @@ fn main() {
     let block_vectors: Vec<Vec<Lv>> = (0..64)
         .map(|_| (0..n).map(|_| Lv::from_bool(rng.gen_bool())).collect())
         .collect();
-    let block = PatternBlock::pack(&block_vectors);
+    let block = PatternBlock::pack(&block_vectors).unwrap();
 
     header("logic_sim");
     bench("scalar_rca16", || {

@@ -11,8 +11,8 @@ use std::fs;
 use std::path::Path;
 
 use obd_bench::experiments::{
-    bist_eval, clock_sweep, em_contrast, excitation, fig4, fig9, iddq, scaling, scan_eval,
-    spice_bench, stats, table1, tpg_compare, variation, waveforms, window,
+    bist_eval, clock_sweep, em_contrast, excitation, fig4, fig9, iddq, metrics_run, scaling,
+    scan_eval, spice_bench, stats, table1, tpg_compare, variation, waveforms, window,
 };
 use obd_cmos::TechParams;
 use obd_core::characterize::{BenchConfig, DelayTable};
@@ -139,13 +139,21 @@ fn run_fig9(tech: &TechParams, cfg: &BenchConfig) {
     }
 }
 
-fn run_stats() {
+fn run_stats(tech: &TechParams) {
     println!("== E6: §4.3 statistics ==");
     match stats::run(BreakdownStage::Mbd2) {
         Ok(s) => {
             let text = stats::render(&s);
             println!("{text}");
             save("stats.txt", &text);
+        }
+        Err(e) => eprintln!("  error: {e}"),
+    }
+    println!("== Observability: Table 1 + ATPG flows under metrics ==");
+    match metrics_run::run(tech, &BenchConfig::table1()) {
+        Ok(r) => {
+            print!("{}", metrics_run::render(&r));
+            save("METRICS_run.json", &r.snapshot.to_json());
         }
         Err(e) => eprintln!("  error: {e}"),
     }
@@ -312,6 +320,12 @@ fn run_scaling() {
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    // OBD_METRICS=1 records engine/ATPG metrics for whatever verbs run and
+    // writes the snapshot next to the verb's own artifacts on exit.
+    let with_metrics = std::env::var("OBD_METRICS").is_ok_and(|v| v == "1");
+    if with_metrics {
+        obd_metrics::enable();
+    }
     let tech = TechParams::date05();
     let cfg = BenchConfig::new();
     let all = arg == "all";
@@ -325,7 +339,7 @@ fn main() {
         run_window();
     }
     if all || arg == "stats" {
-        run_stats();
+        run_stats(&tech);
     }
     if all || arg == "tpg" {
         run_tpg();
@@ -392,5 +406,8 @@ fn main() {
             "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench"
         );
         std::process::exit(2);
+    }
+    if with_metrics {
+        save("METRICS_snapshot.json", &obd_metrics::snapshot().to_json());
     }
 }

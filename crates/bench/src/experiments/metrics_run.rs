@@ -1,0 +1,130 @@
+//! Observability run: drive the Table 1 characterization and an ATPG
+//! flow with metrics enabled and snapshot every counter/histogram.
+//!
+//! The `repro stats` verb calls [`run`] and writes the snapshot to
+//! `results/METRICS_run.json`; the smoke test in `scripts/check.sh`
+//! asserts the Newton-iteration, LU-factorization and DelayCache-hit
+//! counters come back nonzero, which pins the instrumentation end to end.
+
+use obd_atpg::fault::{obd_faults, DetectionCriterion};
+use obd_atpg::faultsim::FaultSimulator;
+use obd_atpg::generate::generate_obd_tests;
+use obd_cmos::TechParams;
+use obd_core::cache::DelayCache;
+use obd_core::characterize::{characterize_table1_auto, BenchConfig, DelayTable};
+use obd_core::BreakdownStage;
+use obd_logic::circuits::fig8_sum_circuit;
+use obd_metrics::MetricsSnapshot;
+
+/// Everything the observability run produced.
+#[derive(Debug)]
+pub struct MetricsRunReport {
+    /// Snapshot of every metric after the flows completed.
+    pub snapshot: MetricsSnapshot,
+    /// Rendered Table 1 (proof the characterization really ran).
+    pub table1_rows: usize,
+    /// OBD faults targeted by the ATPG flow.
+    pub atpg_faults: usize,
+    /// OBD faults detected by the generated tests.
+    pub atpg_detected: usize,
+}
+
+/// Runs the Table 1 + ATPG flows with metrics on.
+///
+/// Metrics are enabled and reset up front, so the snapshot reflects only
+/// this run. The delay-model annotation pass runs twice through one
+/// [`DelayCache`] — the second pass is served entirely from memory,
+/// which is what puts the cache-hit counter above zero.
+///
+/// # Errors
+///
+/// Propagates characterization and ATPG errors.
+pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, String> {
+    obd_metrics::enable();
+    obd_metrics::reset_all();
+
+    // Real Table 1 ladder: the paper's NAND delay measurements across all
+    // breakdown stages, through the analog engine.
+    let table1 = characterize_table1_auto(tech, cfg).map_err(|e| e.to_string())?;
+
+    // Delay-model annotation through a shared cache, twice: first pass
+    // misses and simulates, second pass hits on every key.
+    let cache = DelayCache::new();
+    let _ =
+        DelayTable::from_characterization_cached(tech, cfg, &cache).map_err(|e| e.to_string())?;
+    let _ =
+        DelayTable::from_characterization_cached(tech, cfg, &cache).map_err(|e| e.to_string())?;
+
+    // ATPG flow on the paper's Fig. 8 sum circuit: PODEM generation plus
+    // fault-simulation grading of the generated set.
+    let nl = fig8_sum_circuit();
+    let stage = BreakdownStage::Mbd2;
+    let report = generate_obd_tests(&nl, stage, &DetectionCriterion::ideal(), true)
+        .map_err(|e| e.to_string())?;
+    let faults = obd_faults(&nl, stage, true);
+    let sim = FaultSimulator::new(&nl).map_err(|e| e.to_string())?;
+    let detected = sim
+        .grade_auto(&faults, &report.tests)
+        .map_err(|e| e.to_string())?;
+
+    Ok(MetricsRunReport {
+        snapshot: obd_metrics::snapshot(),
+        table1_rows: table1.rows.len(),
+        atpg_faults: faults.len(),
+        atpg_detected: detected.iter().filter(|&&d| d).count(),
+    })
+}
+
+/// Human-readable summary printed by the `repro stats` verb.
+pub fn render(r: &MetricsRunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "observability run: {} Table 1 rows, {} OBD faults ({} detected)\n",
+        r.table1_rows, r.atpg_faults, r.atpg_detected
+    ));
+    let key_counters = [
+        "spice.newton_iterations",
+        "spice.newton_solves",
+        "linalg.lu_factorizations",
+        "linalg.memo_full_hits",
+        "linalg.memo_solve_hits",
+        "core.delay_cache_hits",
+        "core.delay_cache_misses",
+        "core.window_escalations",
+        "atpg.podem_runs",
+        "atpg.podem_backtracks",
+        "atpg.faults_graded",
+    ];
+    for name in key_counters {
+        let v = r.snapshot.counter(name).unwrap_or(0);
+        out.push_str(&format!("  {name:<32} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quick_bench_config;
+
+    #[test]
+    fn metrics_run_produces_nonzero_key_counters() {
+        let tech = TechParams::date05();
+        let r = run(&tech, &quick_bench_config()).unwrap();
+        for name in [
+            "spice.newton_iterations",
+            "linalg.lu_factorizations",
+            "core.delay_cache_hits",
+            "atpg.podem_runs",
+        ] {
+            assert!(
+                r.snapshot.counter(name).unwrap_or(0) > 0,
+                "counter {name} must be nonzero after the run"
+            );
+        }
+        assert!(r.table1_rows > 0);
+        assert!(r.atpg_faults > 0);
+        let json = r.snapshot.to_json();
+        assert!(json.contains("spice.newton_iterations"));
+    }
+}

@@ -7,6 +7,7 @@ pub mod excitation;
 pub mod fig4;
 pub mod fig9;
 pub mod iddq;
+pub mod metrics_run;
 pub mod scaling;
 pub mod scan_eval;
 pub mod spice_bench;

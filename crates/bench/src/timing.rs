@@ -7,7 +7,21 @@
 
 use std::time::{Duration, Instant};
 
+use obd_metrics::{Counter, Gauge, Histogram};
+
 pub use std::hint::black_box;
+
+/// Benchmarks completed by [`bench_with`].
+static BENCHES_RUN: Counter = Counter::new("bench.benchmarks_run");
+/// Median ns/iteration of the most recent benchmark.
+static LAST_MEDIAN_NS: Gauge = Gauge::new("bench.last_median_ns");
+/// Wall time per benchmark (µs), including warmup and all samples.
+static BENCH_WALL_US: Histogram = Histogram::new(
+    "bench.wall_us",
+    &[
+        1_000, 10_000, 100_000, 500_000, 1_000_000, 5_000_000, 30_000_000,
+    ],
+);
 
 /// How a measurement is taken.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +124,7 @@ pub fn fmt_ns(ns: f64) -> String {
 
 /// Times `f` under `opts` and prints the report line.
 pub fn bench_with<R>(name: &str, opts: &BenchOpts, mut f: impl FnMut() -> R) -> Stats {
+    let _wall = BENCH_WALL_US.start_span();
     // Warmup doubles as calibration: run until the warmup budget is
     // spent, tracking how long one call takes.
     let warm_start = Instant::now();
@@ -138,6 +153,8 @@ pub fn bench_with<R>(name: &str, opts: &BenchOpts, mut f: impl FnMut() -> R) -> 
         iters_per_sample: iters,
         sample_ns,
     };
+    BENCHES_RUN.inc();
+    LAST_MEDIAN_NS.set(stats.median_ns());
     println!("{}", stats.line());
     stats
 }

@@ -17,6 +17,12 @@ use obd_logic::netlist::GateKind;
 use crate::characterize::{measure_cell_transition, BenchConfig, BenchDefect, TransitionOutcome};
 use crate::faultmodel::Polarity;
 use crate::ObdError;
+use obd_metrics::Counter;
+
+/// Lookups served from memory (all [`DelayCache`] instances combined).
+static CACHE_HITS: Counter = Counter::new("core.delay_cache_hits");
+/// Lookups that ran a characterization transient.
+static CACHE_MISSES: Counter = Counter::new("core.delay_cache_misses");
 
 /// FNV-1a over raw `f64` bits — a cheap, stable fingerprint for the
 /// floating-point parts of a cache key. Bit-exact equality is the right
@@ -173,6 +179,7 @@ impl DelayCache {
         let key = CacheKey::new(tech, kind, defect, v1, v2, cfg);
         if let Some(&o) = self.map.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HITS.inc();
             return Ok(o);
         }
         // The transient runs outside the lock so concurrent misses on
@@ -180,6 +187,7 @@ impl DelayCache {
         // miss on the same key just recomputes the identical outcome.
         let o = measure_cell_transition(tech, kind, defect, v1, v2, cfg)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        CACHE_MISSES.inc();
         self.map.lock().expect("cache poisoned").insert(key, o);
         Ok(o)
     }

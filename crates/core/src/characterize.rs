@@ -19,6 +19,14 @@ use crate::faultmodel::Polarity;
 use crate::injection::inject_obd;
 use crate::stage::{BreakdownStage, ObdParams};
 use crate::ObdError;
+use obd_metrics::Counter;
+
+/// Cell transitions measured (each one is at least one transient).
+static TRANSITIONS_MEASURED: Counter = Counter::new("core.transitions_measured");
+/// Measurements decided inside the trimmed capture-limited window.
+static CAPTURE_LIMITED_DECIDED: Counter = Counter::new("core.capture_limited_decided");
+/// Measurements escalated to a full-window rerun.
+static WINDOW_ESCALATIONS: Counter = Counter::new("core.window_escalations");
 
 /// Outcome of one measured transition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -329,6 +337,7 @@ pub fn measure_cell_transition_with_options(
     opts: &SimOptions,
 ) -> Result<TransitionOutcome, ObdError> {
     let (wave, exp, bench) = run_cell_bench_with_options(tech, kind, defect, v1, v2, cfg, opts)?;
+    TRANSITIONS_MEASURED.inc();
     let half = tech.half_vdd();
 
     // Which DUT input switches (first switching pin is the reference)?
@@ -377,6 +386,7 @@ pub fn measure_cell_transition_with_options(
             (None, _) => false,
         };
         if !decided {
+            WINDOW_ESCALATIONS.inc();
             let full_cfg = BenchConfig {
                 sim_full_window: true,
                 ..cfg.clone()
@@ -385,6 +395,7 @@ pub fn measure_cell_transition_with_options(
                 tech, kind, defect, v1, v2, &full_cfg, opts,
             );
         }
+        CAPTURE_LIMITED_DECIDED.inc();
     }
 
     match (t_in, t_out) {

@@ -1,0 +1,178 @@
+//! Exhaustive checks of the §4.1/§5 excitation conditions.
+//!
+//! The in-crate unit tests spot-check membership; these tests assert
+//! *exact* set equality over every ordered input pair, for every
+//! transistor of the NAND2 and NOR2 cells, so a regression that adds a
+//! spurious sequence (not just one that drops a required sequence) fails.
+
+use obd_cmos::cell::Cell;
+use obd_cmos::switch::{excites, CellTransistor, NetworkSide};
+use obd_core::excitation::{all_input_pairs, excitation_set, format_pair, InputPair};
+
+fn pair(a: &str, b: &str) -> InputPair {
+    let p = |s: &str| s.chars().map(|c| c == '1').collect();
+    (p(a), p(b))
+}
+
+fn assert_set_eq(mut got: Vec<InputPair>, mut want: Vec<InputPair>, label: &str) {
+    got.sort();
+    want.sort();
+    assert_eq!(
+        got,
+        want,
+        "{label}: got {:?} want {:?}",
+        got.iter().map(format_pair).collect::<Vec<_>>(),
+        want.iter().map(format_pair).collect::<Vec<_>>()
+    );
+}
+
+fn t(side: NetworkSide, leaf: usize) -> CellTransistor {
+    CellTransistor { side, leaf }
+}
+
+/// §4.1, NAND2: the excitation sets of all four transistors, exactly.
+///
+/// * NMOS (either leaf): every sequence ending at `11` — the output must
+///   fall through the series pulldown, which both devices are essential
+///   to: {(00,11),(01,11),(10,11)}.
+/// * PMOS on A: only `(11,01)`; PMOS on B: only `(11,10)`.
+#[test]
+fn nand2_excitation_sets_exact() {
+    let cell = Cell::nand(2);
+    let falling = vec![pair("00", "11"), pair("01", "11"), pair("10", "11")];
+    for leaf in 0..2 {
+        assert_set_eq(
+            excitation_set(&cell, t(NetworkSide::Pulldown, leaf)),
+            falling.clone(),
+            &format!("NAND2 NMOS leaf {leaf}"),
+        );
+    }
+    assert_set_eq(
+        excitation_set(&cell, t(NetworkSide::Pullup, 0)),
+        vec![pair("11", "01")],
+        "NAND2 PMOS A",
+    );
+    assert_set_eq(
+        excitation_set(&cell, t(NetworkSide::Pullup, 1)),
+        vec![pair("11", "10")],
+        "NAND2 PMOS B",
+    );
+}
+
+/// The union over all NAND2 transistors is the paper's necessary-and-
+/// sufficient family {(10,11),(00,11),(01,11)} ∪ {(11,10)} ∪ {(11,01)} —
+/// five sequences, nothing more.
+#[test]
+fn nand2_union_is_paper_family() {
+    let cell = Cell::nand(2);
+    let mut union: Vec<InputPair> = Vec::new();
+    for &tr in &obd_cmos::switch::all_transistors(&cell) {
+        for p in excitation_set(&cell, tr) {
+            if !union.contains(&p) {
+                union.push(p);
+            }
+        }
+    }
+    assert_set_eq(
+        union,
+        vec![
+            pair("00", "11"),
+            pair("01", "11"),
+            pair("10", "11"),
+            pair("11", "01"),
+            pair("11", "10"),
+        ],
+        "NAND2 union",
+    );
+}
+
+/// §5, NOR2 dual: PMOS (series pullup) excited by every sequence ending
+/// at `00`; each NMOS only by the single-input rise on its own pin.
+#[test]
+fn nor2_excitation_sets_exact() {
+    let cell = Cell::nor(2);
+    let rising = vec![pair("01", "00"), pair("10", "00"), pair("11", "00")];
+    for leaf in 0..2 {
+        assert_set_eq(
+            excitation_set(&cell, t(NetworkSide::Pullup, leaf)),
+            rising.clone(),
+            &format!("NOR2 PMOS leaf {leaf}"),
+        );
+    }
+    assert_set_eq(
+        excitation_set(&cell, t(NetworkSide::Pulldown, 0)),
+        vec![pair("00", "10")],
+        "NOR2 NMOS A",
+    );
+    assert_set_eq(
+        excitation_set(&cell, t(NetworkSide::Pulldown, 1)),
+        vec![pair("00", "01")],
+        "NOR2 NMOS B",
+    );
+}
+
+/// The PMOS "sole charging path" restriction (§4.1): a NAND2 pullup
+/// transistor is excited only when it alone drives the rising output. A
+/// both-inputs-fall sequence (11,00) turns on *both* parallel PMOS
+/// devices, so neither is essential and neither defect is excited —
+/// even though the output rises.
+#[test]
+fn nand2_pmos_parallel_path_masks_excitation() {
+    let cell = Cell::nand(2);
+    let (v1, v2) = pair("11", "00");
+    for leaf in 0..2 {
+        assert!(
+            !excites(&cell, t(NetworkSide::Pullup, leaf), &v1, &v2),
+            "PMOS leaf {leaf} must not be excited when the parallel device also charges"
+        );
+    }
+    // The dual for NOR2: (00,11) turns on both parallel NMOS devices; the
+    // falling output has two discharge paths, so neither defect is excited.
+    let nor = Cell::nor(2);
+    let (w1, w2) = pair("00", "11");
+    for leaf in 0..2 {
+        assert!(
+            !excites(&nor, t(NetworkSide::Pulldown, leaf), &w1, &w2),
+            "NOR NMOS leaf {leaf} must not be excited with a parallel discharge path"
+        );
+    }
+}
+
+/// Exhaustive cross-check: for every transistor of NAND2 and NOR2 and
+/// every one of the 12 ordered input pairs, `excites` agrees with
+/// membership in `excitation_set` (the set really is the predicate's
+/// image, with no filtering drift between the two APIs).
+#[test]
+fn excitation_set_matches_predicate_exhaustively() {
+    for cell in [Cell::nand(2), Cell::nor(2)] {
+        for &tr in &obd_cmos::switch::all_transistors(&cell) {
+            let set = excitation_set(&cell, tr);
+            for (v1, v2) in all_input_pairs(cell.num_inputs) {
+                let in_set = set.contains(&(v1.clone(), v2.clone()));
+                assert_eq!(
+                    excites(&cell, tr, &v1, &v2),
+                    in_set,
+                    "predicate/set disagreement at {}",
+                    format_pair(&(v1.clone(), v2.clone()))
+                );
+            }
+        }
+    }
+}
+
+/// No same-vector sequence `(v,v)` can excite anything: with no output
+/// transition there is nothing to slow down.
+#[test]
+fn static_sequences_never_excite() {
+    for cell in [Cell::nand(2), Cell::nor(2)] {
+        for &tr in &obd_cmos::switch::all_transistors(&cell) {
+            for k in 0..4u32 {
+                let v: Vec<bool> = (0..2).map(|i| (k >> (1 - i)) & 1 == 1).collect();
+                assert!(
+                    !excites(&cell, tr, &v, &v),
+                    "static vector must not excite ({cell:?})"
+                );
+            }
+        }
+    }
+}

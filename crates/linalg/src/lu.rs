@@ -1,6 +1,18 @@
 //! LU factorization with partial pivoting, plus iterative refinement.
 
 use crate::{LinalgError, Matrix};
+use obd_metrics::Counter;
+
+/// Total LU factorizations (all entry points: one-shot and workspace).
+static LU_FACTORIZATIONS: Counter = Counter::new("linalg.lu_factorizations");
+/// Memoized solves where both `a` and `b` matched bitwise (solution copied).
+static MEMO_FULL_HITS: Counter = Counter::new("linalg.memo_full_hits");
+/// Memoized solves where only `a` matched (substitution, no factorization).
+static MEMO_SOLVE_HITS: Counter = Counter::new("linalg.memo_solve_hits");
+/// Memoized solves that fell through to a full factor + solve.
+static MEMO_MISSES: Counter = Counter::new("linalg.memo_misses");
+/// Iterative-refinement passes whose residual exceeded the gate.
+static REFINEMENT_STEPS: Counter = Counter::new("linalg.refinement_steps");
 
 /// An LU factorization `P·A = L·U` with partial (row) pivoting.
 ///
@@ -46,6 +58,7 @@ const REFINE_REL_TOL: f64 = 1e-9;
 ///
 /// Shared kernel behind [`Lu::factor`] and [`LuWorkspace::factor_into`].
 fn factor_in_place(packed: &mut Matrix, perm: &mut [usize]) -> Result<f64, LinalgError> {
+    LU_FACTORIZATIONS.inc();
     let n = packed.rows();
     for (i, p) in perm.iter_mut().enumerate() {
         *p = i;
@@ -474,13 +487,16 @@ impl LuWorkspace {
             && self.memo_a.as_slice() == a.as_slice();
         if a_hit {
             if self.memo_b_valid && self.memo_b.as_slice() == b {
+                MEMO_FULL_HITS.inc();
                 x.clear();
                 x.extend_from_slice(&self.memo_x);
                 return Ok(());
             }
+            MEMO_SOLVE_HITS.inc();
             self.solve_into(b, x)?;
             self.refine_against(a, b, x);
         } else {
+            MEMO_MISSES.inc();
             self.factor_into(a)?;
             self.memo_a.copy_from(a);
             self.memo_a_valid = true;
@@ -509,6 +525,7 @@ impl LuWorkspace {
             b_norm = b_norm.max(bi.abs());
         }
         if r_norm > REFINE_REL_TOL * b_norm.max(f64::MIN_POSITIVE) {
+            REFINEMENT_STEPS.inc();
             solve_in_place(
                 &self.packed,
                 &self.perm,

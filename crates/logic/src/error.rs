@@ -44,6 +44,11 @@ pub enum LogicError {
     },
     /// A referenced name does not exist.
     NotFound(String),
+    /// More patterns than fit one 64-bit packed block.
+    PatternBlockTooLarge {
+        /// Number of patterns supplied.
+        found: usize,
+    },
 }
 
 impl fmt::Display for LogicError {
@@ -70,6 +75,9 @@ impl fmt::Display for LogicError {
                 write!(f, "parse error at line {line}: {message}")
             }
             LogicError::NotFound(name) => write!(f, "not found: {name}"),
+            LogicError::PatternBlockTooLarge { found } => {
+                write!(f, "pattern block holds at most 64 patterns, got {found}")
+            }
         }
     }
 }

@@ -7,6 +7,12 @@
 use crate::netlist::{GateId, NetId, Netlist};
 use crate::value::Lv;
 use crate::LogicError;
+use obd_metrics::Counter;
+
+/// Packed blocks pushed through the parallel simulator.
+static BLOCKS_SIMULATED: Counter = Counter::new("logic.blocks_simulated");
+/// Individual patterns simulated via packed blocks.
+static PATTERNS_SIMULATED: Counter = Counter::new("logic.patterns_simulated");
 
 /// A block of up to 64 fully-specified input patterns.
 #[derive(Debug, Clone, Default)]
@@ -21,16 +27,38 @@ impl PatternBlock {
     /// Packs up to 64 vectors (each `vectors[k][i]` is PI `i` of pattern
     /// `k`). Unknown (`X`) values are treated as 0.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more than 64 vectors are supplied or the vectors have
-    /// inconsistent lengths.
-    pub fn pack(vectors: &[Vec<Lv>]) -> Self {
-        assert!(vectors.len() <= 64, "at most 64 patterns per block");
+    /// * [`LogicError::PatternBlockTooLarge`] if more than 64 vectors are
+    ///   supplied.
+    /// * [`LogicError::InputCountMismatch`] if the vectors have
+    ///   inconsistent lengths (ragged input).
+    pub fn pack(vectors: &[Vec<Lv>]) -> Result<Self, LogicError> {
+        if vectors.len() > 64 {
+            return Err(LogicError::PatternBlockTooLarge {
+                found: vectors.len(),
+            });
+        }
+        let n_inputs = vectors.first().map_or(0, |v| v.len());
+        if let Some(v) = vectors.iter().find(|v| v.len() != n_inputs) {
+            return Err(LogicError::InputCountMismatch {
+                expected: n_inputs,
+                found: v.len(),
+            });
+        }
+        Ok(Self::pack_unchecked(vectors))
+    }
+
+    /// [`PatternBlock::pack`] without the shape checks, for hot paths whose
+    /// chunking already guarantees them (e.g. `chunks(64)` over uniform
+    /// vectors). Extra vectors beyond 64 would corrupt the packing, so the
+    /// bounds are still debug-asserted.
+    pub fn pack_unchecked(vectors: &[Vec<Lv>]) -> Self {
+        debug_assert!(vectors.len() <= 64, "at most 64 patterns per block");
         let n_inputs = vectors.first().map_or(0, |v| v.len());
         let mut words = vec![0u64; n_inputs];
         for (k, v) in vectors.iter().enumerate() {
-            assert_eq!(v.len(), n_inputs, "inconsistent vector lengths");
+            debug_assert_eq!(v.len(), n_inputs, "inconsistent vector lengths");
             for (i, &lv) in v.iter().enumerate() {
                 if lv == Lv::One {
                     words[i] |= 1 << k;
@@ -120,6 +148,8 @@ pub fn simulate_block_with_order(
             found: block.words.len(),
         });
     }
+    BLOCKS_SIMULATED.inc();
+    PATTERNS_SIMULATED.add(block.len() as u64);
     let mut words = vec![0u64; nl.num_nets()];
     for (i, &n) in nl.inputs().iter().enumerate() {
         words[n.index()] = block.word(i);
@@ -160,7 +190,7 @@ mod tests {
     fn parallel_matches_scalar_exhaustively() {
         let nl = sample();
         let vectors: Vec<_> = all_vectors(3).collect();
-        let block = PatternBlock::pack(&vectors);
+        let block = PatternBlock::pack(&vectors).unwrap();
         let par = simulate_block(&nl, &block).unwrap();
         let y = nl.find_net("y").unwrap();
         for (k, v) in vectors.iter().enumerate() {
@@ -176,7 +206,7 @@ mod tests {
     #[test]
     fn block_mask_counts_patterns() {
         let vectors: Vec<_> = all_vectors(2).collect();
-        let block = PatternBlock::pack(&vectors);
+        let block = PatternBlock::pack(&vectors).unwrap();
         assert_eq!(block.len(), 4);
         assert_eq!(block.mask(), 0b1111);
     }
@@ -184,11 +214,51 @@ mod tests {
     #[test]
     fn width_mismatch_rejected() {
         let nl = sample();
-        let block = PatternBlock::pack(&[vec![Lv::One]]);
+        let block = PatternBlock::pack(&[vec![Lv::One]]).unwrap();
         assert!(matches!(
             simulate_block(&nl, &block),
             Err(LogicError::InputCountMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn pack_rejects_more_than_64_patterns() {
+        let vectors: Vec<Vec<Lv>> = (0..65).map(|_| vec![Lv::Zero, Lv::One]).collect();
+        assert!(matches!(
+            PatternBlock::pack(&vectors),
+            Err(LogicError::PatternBlockTooLarge { found: 65 })
+        ));
+    }
+
+    #[test]
+    fn pack_rejects_ragged_vectors() {
+        let vectors = vec![vec![Lv::One, Lv::Zero], vec![Lv::One]];
+        assert!(matches!(
+            PatternBlock::pack(&vectors),
+            Err(LogicError::InputCountMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn pack_treats_x_as_zero() {
+        let block = PatternBlock::pack(&[vec![Lv::X, Lv::One], vec![Lv::Zero, Lv::X]]).unwrap();
+        // PI 0: X,0 -> both bits clear; PI 1: 1,X -> only bit 0 set.
+        assert_eq!(block.word(0), 0b00);
+        assert_eq!(block.word(1), 0b01);
+        let explicit =
+            PatternBlock::pack(&[vec![Lv::Zero, Lv::One], vec![Lv::Zero, Lv::Zero]]).unwrap();
+        assert_eq!(block.word(0), explicit.word(0));
+        assert_eq!(block.word(1), explicit.word(1));
+    }
+
+    #[test]
+    fn pack_empty_is_empty_block() {
+        let block = PatternBlock::pack(&[]).unwrap();
+        assert!(block.is_empty());
+        assert_eq!(block.mask(), 0);
     }
 
     #[test]
@@ -197,7 +267,7 @@ mod tests {
         let vectors: Vec<Vec<Lv>> = (0..64)
             .map(|k| (0..3).map(|i| Lv::from_bool((k >> i) & 1 == 1)).collect())
             .collect();
-        let block = PatternBlock::pack(&vectors);
+        let block = PatternBlock::pack(&vectors).unwrap();
         assert_eq!(block.mask(), !0u64);
         let par = simulate_block(&nl, &block).unwrap();
         let y = nl.find_net("y").unwrap();

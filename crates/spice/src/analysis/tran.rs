@@ -9,6 +9,16 @@ use crate::circuit::Circuit;
 use crate::devices::{EvalCtx, Integration};
 use crate::engine::Solver;
 use crate::{SimOptions, SpiceError, Waveform};
+use obd_metrics::Counter;
+
+/// Transient steps accepted into the waveform.
+static TRAN_STEPS_ACCEPTED: Counter = Counter::new("spice.tran_steps_accepted");
+/// Steps where the predictor-extrapolated seed converged directly.
+static TRAN_PREDICTOR_HITS: Counter = Counter::new("spice.tran_predictor_hits");
+/// Steps where the predictor seed failed and the halving path ran.
+static TRAN_PREDICTOR_FALLBACKS: Counter = Counter::new("spice.tran_predictor_fallbacks");
+/// Step rejections: each convergence failure that triggered a halving.
+static TRAN_STEP_REJECTIONS: Counter = Counter::new("spice.tran_step_rejections");
 
 /// Integration method selection for transient analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +153,11 @@ pub fn transient_with_options(
                 first_step,
             )
             .is_ok();
+            if stepped {
+                TRAN_PREDICTOR_HITS.inc();
+            } else {
+                TRAN_PREDICTOR_FALLBACKS.inc();
+            }
         }
         if !stepped {
             // Unpredicted path: the original seed with halving retries.
@@ -159,6 +174,7 @@ pub fn transient_with_options(
                 params.max_step_halvings,
             )?;
         }
+        TRAN_STEPS_ACCEPTED.inc();
         x_prev.copy_from_slice(&x);
         std::mem::swap(&mut x, &mut x_next);
         t = target;
@@ -229,6 +245,7 @@ fn advance_to(
             Ok(())
         }
         Err(_) if halvings_left > 0 => {
+            TRAN_STEP_REJECTIONS.inc();
             // Off the hot path: a failed step may allocate for the
             // midpoint scratch without disturbing the steady-state loop.
             let mid = 0.5 * (t0 + t1);

@@ -2,11 +2,24 @@
 //! plus gmin stepping and source stepping for hard operating points.
 
 use obd_linalg::LuWorkspace;
+use obd_metrics::{Counter, Histogram};
 
 use crate::circuit::Circuit;
 use crate::devices::{Device, DeviceState, EvalCtx, Integration};
 use crate::stamp::Stamp;
 use crate::{SimOptions, SpiceError};
+
+/// Total Newton iterations across every solve (DC, stepping, transient).
+static NEWTON_ITERATIONS: Counter = Counter::new("spice.newton_iterations");
+/// Newton solves that reached convergence.
+static NEWTON_SOLVES: Counter = Counter::new("spice.newton_solves");
+/// Newton solves that exhausted `max_newton` without converging.
+static NEWTON_NONCONVERGED: Counter = Counter::new("spice.newton_nonconverged");
+/// Iterations needed per converged Newton solve.
+static NEWTON_ITERS_PER_SOLVE: Histogram = Histogram::new(
+    "spice.newton_iters_per_solve",
+    &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 150],
+);
 
 /// A prepared solver for one circuit: the stamp workspaces, the branch-row
 /// assignment for voltage sources, and per-device state.
@@ -161,8 +174,9 @@ impl<'c> Solver<'c> {
             self.lin_stamp.add_gmin_loading(self.opts.gmin);
         }
 
-        for _iter in 0..self.opts.max_newton {
+        for iter in 0..self.opts.max_newton {
             self.newton_iterations += 1;
+            NEWTON_ITERATIONS.inc();
             if reference {
                 // Baseline kernel: restamp the full system and run a
                 // one-shot (allocating) factor/solve, as the engine did
@@ -233,9 +247,12 @@ impl<'c> Solver<'c> {
                 }
             }
             if converged && !damped {
+                NEWTON_SOLVES.inc();
+                NEWTON_ITERS_PER_SOLVE.record(iter as u64 + 1);
                 return Ok(());
             }
         }
+        NEWTON_NONCONVERGED.inc();
         Err(SpiceError::Convergence {
             analysis: "newton",
             at: Some(ctx.time),

@@ -4,6 +4,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use obd_spice::devices::{
     Capacitor, Diode, DiodeParams, EvalCtx, Integration, MosParams, MosPolarity, Mosfet, Resistor,
@@ -41,6 +42,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// The allocation-counting window and the global metrics switch are both
+/// process-wide, so tests that touch either must not overlap.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 /// A circuit exercising every stamp class: source, resistor, capacitor
 /// companion, diode and MOSFET.
@@ -93,6 +98,7 @@ fn mixed_circuit() -> Circuit {
 
 #[test]
 fn warm_newton_solves_do_not_allocate() {
+    let _guard = TEST_LOCK.lock().unwrap();
     let ckt = mixed_circuit();
     let opts = SimOptions::new();
     let mut solver = Solver::new(&ckt, &opts).unwrap();
@@ -122,5 +128,63 @@ fn warm_newton_solves_do_not_allocate() {
     assert_eq!(
         calls, 0,
         "steady-state newton_into performed {calls} heap allocations over 50 solves"
+    );
+}
+
+/// The engine's Newton loop and the LU workspace are instrumented with
+/// metric counters; with metrics disabled those call sites must stay
+/// branch-only — zero heap traffic across the warm transient-shaped loop.
+/// The enabled contrast run at the end proves the counters really sit on
+/// this exact path (so the zero-allocation claim is not vacuous).
+#[test]
+fn metrics_disabled_path_does_not_allocate_in_hot_loop() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    obd_metrics::disable();
+
+    let ckt = mixed_circuit();
+    let opts = SimOptions::new();
+    let mut solver = Solver::new(&ckt, &opts).unwrap();
+
+    // Warm-up, then mimic the transient hot loop: repeated solves with a
+    // step-sized trapezoidal context, seeds alternating like predictor
+    // steps do.
+    let x0 = solver.operating_point().unwrap();
+    let mut x = vec![0.0; solver.dim()];
+    let mk_ctx = |time: f64| EvalCtx {
+        time,
+        source_scale: 1.0,
+        gmin: opts.gmin,
+        integ: Integration::Trapezoidal { h: 5e-12 },
+        vt: obd_spice::THERMAL_VOLTAGE,
+    };
+    solver.newton_into(&mk_ctx(1e-9), &x0, &mut x).unwrap();
+
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for k in 0..50u32 {
+        let t = 1e-9 + f64::from(k) * 5e-12;
+        solver.newton_into(&mk_ctx(t), &x0, &mut x).unwrap();
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let calls = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        calls, 0,
+        "metrics-disabled hot loop performed {calls} heap allocations over 50 solves"
+    );
+
+    // Contrast: the same loop with metrics enabled must tick the Newton
+    // counter, proving the disabled branch above guarded real call sites.
+    obd_metrics::enable();
+    let before = obd_metrics::snapshot()
+        .counter("spice.newton_iterations")
+        .unwrap_or(0);
+    solver.newton_into(&mk_ctx(2e-9), &x0, &mut x).unwrap();
+    let after = obd_metrics::snapshot()
+        .counter("spice.newton_iterations")
+        .unwrap_or(0);
+    obd_metrics::disable();
+    assert!(
+        after > before,
+        "enabled run must record newton iterations ({before} -> {after})"
     );
 }

@@ -4,8 +4,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Smoke the observability layer end to end: `repro stats` must emit a
+# parseable metrics snapshot with the key engine counters nonzero.
+./target/release/repro stats
+python3 - <<'EOF'
+import json
+
+with open("results/METRICS_run.json") as f:
+    snap = json.load(f)
+counters = snap["counters"]
+for key in ("spice.newton_iterations", "linalg.lu_factorizations"):
+    assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
+print(
+    "METRICS_run.json ok:",
+    f"newton_iterations={counters['spice.newton_iterations']}",
+    f"lu_factorizations={counters['linalg.lu_factorizations']}",
+)
+EOF
 
 echo "check.sh: all gates passed"

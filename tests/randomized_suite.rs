@@ -86,7 +86,7 @@ fn parallel_matches_scalar() {
     for_cases(0x5ca1ab1e, 48, |rng, case| {
         let nl = build_circuit(4, &random_recipes(rng, 24));
         let vectors: Vec<Vec<Lv>> = all_vectors(4).collect();
-        let block = PatternBlock::pack(&vectors);
+        let block = PatternBlock::pack(&vectors).unwrap();
         let par = simulate_block(&nl, &block).unwrap();
         for (k, v) in vectors.iter().enumerate() {
             let scalar = simulate(&nl, v).unwrap();
@@ -98,6 +98,32 @@ fn parallel_matches_scalar() {
                     nl.net_name(po)
                 );
             }
+        }
+    });
+}
+
+/// Serial, explicitly-threaded and auto-sized fault grading agree
+/// exactly on random circuits, fault lists and two-pattern test sets.
+#[test]
+fn grade_variants_agree() {
+    use obd_suite::atpg::random::random_two_pattern;
+    for_cases(0x96ade, 24, |rng, case| {
+        let source = build_circuit(4, &random_recipes(rng, 12));
+        let nl = decompose_for_expansion(&source).unwrap();
+        let sim = FaultSimulator::new(&nl).unwrap();
+        let faults =
+            obd_suite::atpg::fault::obd_faults(&nl, obd_suite::obd::BreakdownStage::Mbd2, false);
+        let n_tests = 1 + rng.gen_range(12);
+        let tests = random_two_pattern(4, n_tests, rng.next_u64());
+        let serial = sim.grade(&faults, &tests).unwrap();
+        let auto = sim.grade_auto(&faults, &tests).unwrap();
+        assert_eq!(serial, auto, "case {case}: grade_auto diverges");
+        for threads in [2, 3, 7] {
+            let parallel = sim.grade_parallel(&faults, &tests, threads).unwrap();
+            assert_eq!(
+                serial, parallel,
+                "case {case}: grade_parallel({threads}) diverges"
+            );
         }
     });
 }
