@@ -21,6 +21,10 @@ pub enum AtpgError {
         /// Supplied width.
         found: usize,
     },
+    /// An internal invariant failed (worker panic, impossible state) —
+    /// reported as an error instead of crossing a thread boundary as a
+    /// panic.
+    Internal(String),
 }
 
 impl fmt::Display for AtpgError {
@@ -33,6 +37,7 @@ impl fmt::Display for AtpgError {
             AtpgError::VectorWidth { expected, found } => {
                 write!(f, "test vector has {found} bits, expected {expected}")
             }
+            AtpgError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
 }

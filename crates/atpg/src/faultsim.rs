@@ -25,12 +25,41 @@ use obd_logic::value::Lv;
 
 use crate::fault::{DetectionCriterion, Fault, SlowTo, TwoPatternTest};
 use crate::AtpgError;
+use obd_chaos::InjectionPoint;
 use obd_metrics::Counter;
 
 /// Faults graded (per grading call, counted once per fault).
 static FAULTS_GRADED: Counter = Counter::new("atpg.faults_graded");
 /// Faults found detected by a grading call.
 static FAULTS_DETECTED: Counter = Counter::new("atpg.faults_detected");
+/// Faults whose grading failed and was degraded instead of aborting.
+static FAULTS_DEGRADED: Counter = Counter::new("atpg.faults_degraded");
+/// Injects a per-fault grading failure into [`FaultSimulator::grade_degraded`].
+static CHAOS_GRADE: InjectionPoint = InjectionPoint::new("atpg.grade_error");
+
+/// Per-fault outcome of [`FaultSimulator::grade_degraded`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GradeOutcome {
+    /// At least one test detects the fault.
+    Detected,
+    /// No test in the set detects the fault.
+    Undetected,
+    /// Grading this fault failed; the error is recorded and the campaign
+    /// continues with the remaining faults.
+    Degraded(String),
+}
+
+impl GradeOutcome {
+    /// Whether the fault was detected.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, GradeOutcome::Detected)
+    }
+
+    /// Whether grading this fault failed.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, GradeOutcome::Degraded(_))
+    }
+}
 
 /// A prepared fault simulator for one netlist.
 #[derive(Debug)]
@@ -241,7 +270,11 @@ impl<'a> FaultSimulator<'a> {
             (Some(a), Some(b)) => (a, b),
             _ => return Ok(false), // unknown inputs: not excited
         };
-        let t = f.cell_transistor(&cell);
+        // A pin with no leaf in the relevant network (mismatched
+        // fault/cell pairing) has no transistor to excite.
+        let Some(t) = f.cell_transistor(&cell) else {
+            return Ok(false);
+        };
         if !excites(&cell, t, &v1g, &v2g) {
             return Ok(false);
         }
@@ -277,7 +310,9 @@ impl<'a> FaultSimulator<'a> {
             polarity,
             stage: obd_core::BreakdownStage::Mbd1,
         };
-        let t = probe.cell_transistor(&cell);
+        let Some(t) = probe.cell_transistor(&cell) else {
+            return Ok(false);
+        };
         if !em_excites(&cell, t, &v1g, &v2g) {
             return Ok(false);
         }
@@ -325,6 +360,42 @@ impl<'a> FaultSimulator<'a> {
         Ok(detected)
     }
 
+    /// [`FaultSimulator::grade`] with graceful degradation: a fault whose
+    /// detection errors out is marked [`GradeOutcome::Degraded`] and the
+    /// campaign continues instead of aborting — the fault is still fully
+    /// accounted for in the returned vector.
+    pub fn grade_degraded(&self, faults: &[Fault], tests: &[TwoPatternTest]) -> Vec<GradeOutcome> {
+        let mut out = Vec::with_capacity(faults.len());
+        for f in faults {
+            let mut res = GradeOutcome::Undetected;
+            for t in tests {
+                let det = if CHAOS_GRADE.fire() {
+                    Err(AtpgError::Internal(
+                        "injected grading failure (chaos)".into(),
+                    ))
+                } else {
+                    self.detects(f, t)
+                };
+                match det {
+                    Ok(true) => {
+                        res = GradeOutcome::Detected;
+                        break;
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        FAULTS_DEGRADED.inc();
+                        res = GradeOutcome::Degraded(e.to_string());
+                        break;
+                    }
+                }
+            }
+            out.push(res);
+        }
+        FAULTS_GRADED.add(faults.len() as u64);
+        FAULTS_DETECTED.add(out.iter().filter(|o| o.is_detected()).count() as u64);
+        out
+    }
+
     /// [`FaultSimulator::grade`] fanned out over OS threads; fault-level
     /// parallelism, since every (fault, test) evaluation is independent.
     ///
@@ -360,7 +431,11 @@ impl<'a> FaultSimulator<'a> {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker must not panic"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(AtpgError::Internal("fault-grading worker panicked".into()))
+                    })
+                })
                 .collect()
         });
         let mut out = Vec::with_capacity(faults.len());

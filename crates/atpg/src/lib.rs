@@ -57,6 +57,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bist;
 pub mod compact;
 pub mod diagnosis;

@@ -159,7 +159,7 @@ pub fn best_chain_order(
         }
         Ok(())
     })?;
-    Ok(best.expect("at least one permutation"))
+    best.ok_or_else(|| AtpgError::Internal("permutation search produced no candidate".into()))
 }
 
 fn permute<E>(

@@ -97,7 +97,11 @@ impl<'a> TwoFrameAtpg<'a> {
                     polarity: *polarity,
                     stage: obd_core::BreakdownStage::Mbd1,
                 };
-                let t = probe.cell_transistor(&cell);
+                // A pin with no leaf in the relevant network has no
+                // transistor, hence no excitation condition: untestable.
+                let Some(t) = probe.cell_transistor(&cell) else {
+                    return Ok(GenOutcome::Untestable);
+                };
                 let conditions = em_excitation_set(&cell, t);
                 Ok(self.generate_from_conditions(*gate, &conditions))
             }
@@ -165,7 +169,9 @@ impl<'a> TwoFrameAtpg<'a> {
             Some(d) if d > self.criterion.slack_ps => {}
             _ => return Ok(GenOutcome::BelowSlack),
         }
-        let t = f.cell_transistor(&cell);
+        let Some(t) = f.cell_transistor(&cell) else {
+            return Ok(GenOutcome::Untestable);
+        };
         let conditions = excitation_set(&cell, t);
         Ok(self.generate_from_conditions(f.gate, &conditions))
     }

@@ -11,7 +11,7 @@ use std::fs;
 use std::path::Path;
 
 use obd_bench::experiments::{
-    bist_eval, clock_sweep, em_contrast, excitation, fig4, fig9, iddq, metrics_run, scaling,
+    bist_eval, chaos, clock_sweep, em_contrast, excitation, fig4, fig9, iddq, metrics_run, scaling,
     scan_eval, spice_bench, stats, table1, tpg_compare, variation, waveforms, window,
 };
 use obd_cmos::TechParams;
@@ -306,6 +306,27 @@ fn run_spice_bench(tech: &TechParams) {
     }
 }
 
+fn run_chaos() {
+    println!("== Robustness: seeded fault-injection campaign (CHAOS_run.json) ==");
+    let seed = std::env::var("OBD_CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let t = s.trim();
+            match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => t.parse().ok(),
+            }
+        })
+        .unwrap_or(chaos::DEFAULT_SEED);
+    let r = chaos::run(seed);
+    print!("{}", r.render());
+    save("CHAOS_run.json", &r.to_json());
+    if r.panics_total() > 0 || !r.accounted() {
+        eprintln!("  CHAOS CAMPAIGN FAILED: panics or unaccounted faults");
+        std::process::exit(1);
+    }
+}
+
 fn run_scaling() {
     println!("== E9: ATPG complexity scaling ==");
     match scaling::run(&[2, 4, 8, 16, 24], &[8, 16, 32]) {
@@ -380,6 +401,11 @@ fn main() {
     if all || arg == "bench" {
         run_spice_bench(&tech);
     }
+    // Chaos deliberately stays out of `all`: it arms process-global fault
+    // injection, which must not contaminate the paper artifacts.
+    if arg == "chaos" {
+        run_chaos();
+    }
     if !all
         && ![
             "excitation",
@@ -399,11 +425,12 @@ fn main() {
             "scan",
             "variation",
             "bench",
+            "chaos",
         ]
         .contains(&arg.as_str())
     {
         eprintln!(
-            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench"
+            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, chaos"
         );
         std::process::exit(2);
     }

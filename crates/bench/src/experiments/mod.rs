@@ -1,6 +1,7 @@
 //! Experiment implementations, one per paper artifact.
 
 pub mod bist_eval;
+pub mod chaos;
 pub mod clock_sweep;
 pub mod em_contrast;
 pub mod excitation;

@@ -80,7 +80,7 @@ impl SpiceBenchReport {
 /// bench circuit, re-solved from the operating point under a transient
 /// context. Returns (ns/iteration, iterations timed).
 fn newton_kernel(tech: &TechParams, opts: &SimOptions) -> Result<(f64, u64), ObdError> {
-    let bench = Fig5Bench::new();
+    let bench = Fig5Bench::new()?;
     let mut exp = expand(&bench.netlist, tech)?;
     exp.drive_input(bench.pis[0], SourceWave::dc(0.0));
     exp.drive_input(bench.pis[1], SourceWave::dc(tech.vdd));

@@ -1,0 +1,37 @@
+//! The chaos campaign in its own test binary: arming fault injection is
+//! process-global, so the campaign must not share a process with tests
+//! that expect a clean solver stack.
+
+use std::sync::Mutex;
+
+use obd_bench::experiments::chaos;
+
+/// Chaos arming is process-global; the tests in this binary serialize on
+/// this lock.
+static GATE: Mutex<()> = Mutex::new(());
+
+#[test]
+fn small_campaign_is_panic_free_and_accounted() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let r = chaos::run_with_scale(7, 1);
+    assert_eq!(r.panics_total(), 0, "campaign must not panic");
+    assert!(r.injected_total() > 0, "campaign must inject faults");
+    assert!(r.accounted(), "every fault must land in one bucket: {r:?}");
+    let json = r.to_json();
+    assert!(json.contains("\"accounted\": true"));
+    assert!(json.contains("linalg.forced_singular"));
+}
+
+#[test]
+fn same_seed_replays_identical_accounting() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let a = chaos::run_with_scale(11, 1);
+    let b = chaos::run_with_scale(11, 1);
+    for (la, lb) in a.layers.iter().zip(b.layers.iter()) {
+        assert_eq!(la.injected, lb.injected, "layer {}", la.layer);
+        assert_eq!(la.recovered, lb.recovered, "layer {}", la.layer);
+        assert_eq!(la.degraded, lb.degraded, "layer {}", la.layer);
+        assert_eq!(la.reported, lb.reported, "layer {}", la.layer);
+    }
+    assert_eq!(a.points, b.points);
+}

@@ -177,7 +177,10 @@ impl DelayCache {
         cfg: &BenchConfig,
     ) -> Result<TransitionOutcome, ObdError> {
         let key = CacheKey::new(tech, kind, defect, v1, v2, cfg);
-        if let Some(&o) = self.map.lock().expect("cache poisoned").get(&key) {
+        // A poisoned map still holds structurally valid entries (inserts
+        // of Copy values cannot half-complete observably), so recover
+        // instead of propagating a worker's panic into every later lookup.
+        if let Some(&o) = self.map.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             CACHE_HITS.inc();
             return Ok(o);
@@ -188,7 +191,10 @@ impl DelayCache {
         let o = measure_cell_transition(tech, kind, defect, v1, v2, cfg)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         CACHE_MISSES.inc();
-        self.map.lock().expect("cache poisoned").insert(key, o);
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, o);
         Ok(o)
     }
 
@@ -204,7 +210,7 @@ impl DelayCache {
 
     /// Number of distinct measurements stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether the cache is empty.

@@ -19,6 +19,7 @@ use crate::faultmodel::Polarity;
 use crate::injection::inject_obd;
 use crate::stage::{BreakdownStage, ObdParams};
 use crate::ObdError;
+use obd_chaos::InjectionPoint;
 use obd_metrics::Counter;
 
 /// Cell transitions measured (each one is at least one transient).
@@ -27,6 +28,12 @@ static TRANSITIONS_MEASURED: Counter = Counter::new("core.transitions_measured")
 static CAPTURE_LIMITED_DECIDED: Counter = Counter::new("core.capture_limited_decided");
 /// Measurements escalated to a full-window rerun.
 static WINDOW_ESCALATIONS: Counter = Counter::new("core.window_escalations");
+/// Table 1 cells whose measurement failed and were marked degraded.
+static CELLS_DEGRADED: Counter = Counter::new("core.cells_degraded");
+
+/// Chaos: corrupt a completed delay measurement to NaN; the measurement
+/// guard must reject it as a typed error rather than tabulating garbage.
+static CHAOS_DELAY_CORRUPT: InjectionPoint = InjectionPoint::new("core.delay_corrupt");
 
 /// Outcome of one measured transition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,45 +166,47 @@ pub struct Fig5Bench {
 
 impl Fig5Bench {
     /// Builds the bench netlist around a NAND2 device under test.
-    pub fn new() -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction failures.
+    pub fn new() -> Result<Self, ObdError> {
         Fig5Bench::for_kind(GateKind::Nand)
     }
 
     /// Builds the bench around a NAND2 or NOR2 device under test — the
     /// NOR variant validates the §5 duality in the analog domain.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for kinds other than `Nand` and `Nor`.
-    pub fn for_kind(kind: GateKind) -> Self {
-        assert!(
-            matches!(kind, GateKind::Nand | GateKind::Nor),
-            "bench supports NAND2 and NOR2 devices under test"
-        );
+    /// [`ObdError::BadSite`] for kinds other than `Nand` and `Nor`;
+    /// propagates netlist construction failures.
+    pub fn for_kind(kind: GateKind) -> Result<Self, ObdError> {
+        if !matches!(kind, GateKind::Nand | GateKind::Nor) {
+            return Err(ObdError::BadSite(
+                "bench supports NAND2 and NOR2 devices under test".into(),
+            ));
+        }
         let mut nl = Netlist::new();
         let a = nl.add_input("A");
         let b = nl.add_input("B");
-        let a1 = nl.add_gate(GateKind::Inv, "da1", &[a]).expect("fresh");
-        let a2 = nl.add_gate(GateKind::Inv, "da2", &[a1]).expect("fresh");
-        let b1 = nl.add_gate(GateKind::Inv, "db1", &[b]).expect("fresh");
-        let b2 = nl.add_gate(GateKind::Inv, "db2", &[b1]).expect("fresh");
-        let y = nl.add_gate(kind, "dut", &[a2, b2]).expect("fresh");
-        let load = nl.add_gate(GateKind::Inv, "load", &[y]).expect("fresh");
+        let a1 = nl.add_gate(GateKind::Inv, "da1", &[a])?;
+        let a2 = nl.add_gate(GateKind::Inv, "da2", &[a1])?;
+        let b1 = nl.add_gate(GateKind::Inv, "db1", &[b])?;
+        let b2 = nl.add_gate(GateKind::Inv, "db2", &[b1])?;
+        let y = nl.add_gate(kind, "dut", &[a2, b2])?;
+        let load = nl.add_gate(GateKind::Inv, "load", &[y])?;
         nl.mark_output(load);
-        let nand = nl.driver(y).expect("dut driven");
-        Fig5Bench {
+        let nand = nl
+            .driver(y)
+            .ok_or_else(|| ObdError::BadSite("device under test has no driver".into()))?;
+        Ok(Fig5Bench {
             netlist: nl,
             nand,
             pis: [a, b],
             nand_inputs: [a2, b2],
             output: y,
-        }
-    }
-}
-
-impl Default for Fig5Bench {
-    fn default() -> Self {
-        Fig5Bench::new()
+        })
     }
 }
 
@@ -261,7 +270,7 @@ pub fn run_cell_bench_with_options(
     cfg: &BenchConfig,
     opts: &SimOptions,
 ) -> Result<(Waveform, ExpandedCircuit, Fig5Bench), ObdError> {
-    let bench = Fig5Bench::for_kind(kind);
+    let bench = Fig5Bench::for_kind(kind)?;
     let mut exp = expand(&bench.netlist, tech)?;
     if let Some(d) = defect {
         let trs = exp.find_transistors(bench.nand, d.pin, d.polarity.mos());
@@ -377,7 +386,10 @@ pub fn measure_cell_transition_with_options(
     // the full observation window — the trimmed result is then
     // outcome-identical to an always-full-window driver by construction.
     if cfg.sim_stop_ps() < cfg.launch_ps + cfg.window_ps {
-        let limit_s = cfg.at_speed_ps.expect("trimmed implies a capture limit") * 1e-12;
+        // A trimmed window implies a capture limit; if that invariant ever
+        // broke, an infinite limit makes the cell undecided and escalates
+        // it to the full window, which is always safe.
+        let limit_s = cfg.at_speed_ps.unwrap_or(f64::INFINITY) * 1e-12;
         let t_end = wave.time().last().copied().unwrap_or(0.0);
         let guard = 2.0 * cfg.step_ps * 1e-12;
         let decided = match (t_in, t_out) {
@@ -400,7 +412,19 @@ pub fn measure_cell_transition_with_options(
 
     match (t_in, t_out) {
         (Some(ti), Some(to)) => {
-            let ps = (to - ti) / 1e-12;
+            let mut ps = (to - ti) / 1e-12;
+            if CHAOS_DELAY_CORRUPT.fire() {
+                ps = f64::NAN;
+            }
+            // Measurement guard: crossings are time-ordered by
+            // construction, so a NaN or negative delay means the
+            // measurement chain was corrupted — report it instead of
+            // tabulating garbage.
+            if !ps.is_finite() || ps < 0.0 {
+                return Err(ObdError::CorruptMeasurement(format!(
+                    "non-physical propagation delay {ps} ps"
+                )));
+            }
             match cfg.at_speed_ps {
                 Some(limit) if ps > limit => Ok(TransitionOutcome::Stuck),
                 _ => Ok(TransitionOutcome::Delay(ps)),
@@ -491,6 +515,147 @@ pub fn characterize_table1_with_options(
         )?);
     }
     Ok(table1_from_slots(row_meta, slots))
+}
+
+/// A Table 1 cell whose measurement failed. The campaign records the
+/// typed error and keeps going; the cell stays empty in the table.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Row index into [`Table1::rows`].
+    pub row: usize,
+    /// Slot index (0–3 NMOS, 4–7 PMOS).
+    pub slot: usize,
+    /// Breakdown stage of the failed row.
+    pub stage: BreakdownStage,
+    /// Rendered error that degraded the cell.
+    pub error: String,
+}
+
+/// A Table 1 cell that measured successfully even though fault injection
+/// fired during its solve: the escalation ladder absorbed the faults, so
+/// the value is valid but may differ in low-order bits from an
+/// injection-free run (the recovery path changes the numerical history).
+#[derive(Debug, Clone)]
+pub struct CellRecovery {
+    /// Row index into [`Table1::rows`].
+    pub row: usize,
+    /// Slot index (0–3 NMOS, 4–7 PMOS).
+    pub slot: usize,
+    /// How many injections fired during this cell's measurement.
+    pub injections: u64,
+}
+
+/// A gracefully degraded Table 1: every cell that measured cleanly, plus
+/// explicit accounting for every cell that did not. Cells untouched by
+/// fault injection are bit-identical to what [`characterize_table1`]
+/// would produce; recovered cells are valid but path-dependent.
+#[derive(Debug, Clone)]
+pub struct Table1Report {
+    /// The table with failed cells left empty.
+    pub table: Table1,
+    /// One entry per degraded cell; empty on a clean run.
+    pub failures: Vec<CellFailure>,
+    /// Cells that succeeded despite injections; empty on a clean run.
+    pub recovered: Vec<CellRecovery>,
+}
+
+impl Table1Report {
+    /// Whether any cell was degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Renders the table plus a degraded-cell annotation block.
+    pub fn render(&self) -> String {
+        let mut s = self.table.render();
+        if !self.failures.is_empty() {
+            s.push_str(&format!("degraded cells: {}\n", self.failures.len()));
+            for f in &self.failures {
+                s.push_str(&format!(
+                    "  {} row {} slot {}: {}\n",
+                    f.stage, f.row, f.slot, f.error
+                ));
+            }
+        }
+        s
+    }
+
+    /// Renders the failure accounting as a JSON array for run artifacts.
+    pub fn failures_json(&self) -> String {
+        let mut s = String::from("[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"row\": {}, \"slot\": {}, \"stage\": \"{}\", \"error\": \"{}\"}}",
+                f.row,
+                f.slot,
+                f.stage,
+                f.error.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        if !self.failures.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push(']');
+        s
+    }
+}
+
+/// [`characterize_table1_with_options`] with graceful degradation: a cell
+/// whose measurement fails is marked degraded (with its typed error) and
+/// the campaign continues instead of aborting the whole table. Cells the
+/// injection layer never touched are bit-identical to the strict
+/// driver's; recovered cells (injections absorbed by the escalation
+/// ladder) are valid but may differ in low-order bits.
+pub fn characterize_table1_degraded(
+    tech: &TechParams,
+    cfg: &BenchConfig,
+    opts: &SimOptions,
+) -> Table1Report {
+    let (jobs, row_meta) = table1_jobs();
+    let mut slots = vec![[None; 8]; row_meta.len()];
+    let mut failures = Vec::new();
+    let mut recovered = Vec::new();
+    for j in &jobs {
+        let before = obd_chaos::injected_total();
+        match measure_cell_transition_with_options(
+            tech,
+            GateKind::Nand,
+            j.defect,
+            j.v1,
+            j.v2,
+            cfg,
+            opts,
+        ) {
+            Ok(o) => {
+                slots[j.row][j.slot] = Some(o);
+                let injections = obd_chaos::injected_total().saturating_sub(before);
+                if injections > 0 {
+                    recovered.push(CellRecovery {
+                        row: j.row,
+                        slot: j.slot,
+                        injections,
+                    });
+                }
+            }
+            Err(e) => {
+                CELLS_DEGRADED.inc();
+                failures.push(CellFailure {
+                    row: j.row,
+                    slot: j.slot,
+                    stage: row_meta[j.row].0,
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+    Table1Report {
+        table: table1_from_slots(row_meta, slots),
+        failures,
+        recovered,
+    }
 }
 
 /// One cell of the Table 1 grid: row/slot coordinates plus the
@@ -621,7 +786,11 @@ pub fn characterize_table1_parallel(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker must not panic"))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(ObdError::Spice("characterization worker panicked".into()))
+                })
+            })
             .collect()
     });
     let mut slots = vec![[None; 8]; row_meta.len()];
@@ -663,9 +832,14 @@ pub fn inverter_vtc(
     let mut exp = expand(&nl, tech)?;
     if stage != BreakdownStage::FaultFree {
         let params = stage.params(polarity)?;
-        let gate = nl.driver(y).expect("inv driven");
+        let gate = nl
+            .driver(y)
+            .ok_or_else(|| ObdError::BadSite("inverter output has no driver".into()))?;
         let trs = exp.find_transistors(gate, 0, polarity.mos());
-        inject_obd(&mut exp.circuit, trs[0].device, params, "vtc")?;
+        let tr = trs
+            .first()
+            .ok_or_else(|| ObdError::BadSite(format!("no {polarity} transistor in inverter")))?;
+        inject_obd(&mut exp.circuit, tr.device, params, "vtc")?;
     }
     exp.drive_input(a, SourceWave::dc(0.0));
     let sweep = DcSweep::new(
@@ -698,7 +872,7 @@ pub fn delay_vs_temperature(
         .iter()
         .map(|&t| {
             let (wave, exp, bench) = {
-                let bench = Fig5Bench::new();
+                let bench = Fig5Bench::new()?;
                 let mut exp = expand(&bench.netlist, tech)?;
                 let trs = exp.find_transistors(bench.nand, defect.pin, defect.polarity.mos());
                 let tr = trs.first().ok_or_else(|| {
@@ -788,7 +962,7 @@ pub fn iddq_at(
     inputs: [bool; 2],
     temp_c: f64,
 ) -> Result<f64, ObdError> {
-    let bench = Fig5Bench::new();
+    let bench = Fig5Bench::new()?;
     let mut exp = expand(&bench.netlist, tech)?;
     if let Some(d) = defect {
         let trs = exp.find_transistors(bench.nand, d.pin, d.polarity.mos());

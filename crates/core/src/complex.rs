@@ -31,18 +31,16 @@ struct CellBench {
     dut_devices: Vec<obd_cmos::TransistorRef>,
 }
 
-fn placeholder_gate() -> obd_logic::GateId {
+fn placeholder_gate() -> Result<obd_logic::GateId, ObdError> {
     // `TransistorRef` carries a gate-level id for provenance; a one-gate
     // dummy netlist mints a stable placeholder for cell-only benches.
     let mut dummy = Netlist::new();
     let a = dummy.add_input("a");
-    dummy
-        .add_gate(GateKind::Inv, "ph", &[a])
-        .expect("fresh name");
-    dummy.gate_id(0)
+    dummy.add_gate(GateKind::Inv, "ph", &[a])?;
+    Ok(dummy.gate_id(0))
 }
 
-fn build_bench(tech: &TechParams, cell: &Cell) -> CellBench {
+fn build_bench(tech: &TechParams, cell: &Cell) -> Result<CellBench, ObdError> {
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     ckt.add_vsource(Vsource::new(
@@ -51,7 +49,7 @@ fn build_bench(tech: &TechParams, cell: &Cell) -> CellBench {
         Circuit::GROUND,
         SourceWave::dc(tech.vdd),
     ));
-    let ph = placeholder_gate();
+    let ph = placeholder_gate()?;
     let inv = Cell::inverter();
 
     let mut pi_nodes = Vec::new();
@@ -91,13 +89,13 @@ fn build_bench(tech: &TechParams, cell: &Cell) -> CellBench {
     let load_out = ckt.node("load_out");
     instantiate_cell(&mut ckt, tech, &inv, ph, &[out], load_out, vdd, "ld");
     attach_wire_load(&mut ckt, tech, load_out);
-    CellBench {
+    Ok(CellBench {
         circuit: ckt,
         pi_nodes,
         dut_inputs,
         output: out,
         dut_devices,
-    }
+    })
 }
 
 /// Measures the output transition delay of an arbitrary cell under an
@@ -118,9 +116,15 @@ pub fn measure_cell(
     v2: &[bool],
     cfg: &BenchConfig,
 ) -> Result<TransitionOutcome, ObdError> {
-    assert_eq!(v1.len(), cell.num_inputs);
-    assert_eq!(v2.len(), cell.num_inputs);
-    let mut bench = build_bench(tech, cell);
+    if v1.len() != cell.num_inputs || v2.len() != cell.num_inputs {
+        return Err(ObdError::BadSite(format!(
+            "vector width {}/{} does not match {} cell inputs",
+            v1.len(),
+            v2.len(),
+            cell.num_inputs
+        )));
+    }
+    let mut bench = build_bench(tech, cell)?;
     if let Some((t, params)) = defect {
         let polarity = match t.side {
             obd_cmos::switch::NetworkSide::Pulldown => MosPolarity::Nmos,

@@ -23,6 +23,10 @@ pub enum ObdError {
     },
     /// The fault site does not exist in the netlist (bad gate/pin).
     BadSite(String),
+    /// A measurement produced a non-physical value (NaN or negative
+    /// delay); raised by the measurement guards instead of tabulating
+    /// garbage.
+    CorruptMeasurement(String),
     /// Underlying analog simulation failed.
     Spice(String),
     /// Underlying logic-level operation failed.
@@ -39,6 +43,7 @@ impl fmt::Display for ObdError {
                 write!(f, "no {polarity} parameters for stage {stage}")
             }
             ObdError::BadSite(s) => write!(f, "bad fault site: {s}"),
+            ObdError::CorruptMeasurement(s) => write!(f, "corrupt measurement: {s}"),
             ObdError::Spice(s) => write!(f, "analog simulation: {s}"),
             ObdError::Logic(s) => write!(f, "logic netlist: {s}"),
             ObdError::Cmos(s) => write!(f, "cell expansion: {s}"),

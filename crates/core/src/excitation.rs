@@ -79,7 +79,10 @@ pub fn minimal_cell_test_set(cell: &Cell) -> Vec<InputPair> {
     let mut chosen = Vec::new();
     while !uncovered.is_empty() {
         // Pick the candidate covering the most uncovered transistors.
-        let (best_idx, _) = candidates
+        // Every uncovered transistor has a nonempty set, so candidates
+        // cannot be empty here; the defensive break keeps the greedy
+        // cover panic-free regardless.
+        let Some((best_idx, _)) = candidates
             .iter()
             .enumerate()
             .map(|(ci, cand)| {
@@ -90,7 +93,9 @@ pub fn minimal_cell_test_set(cell: &Cell) -> Vec<InputPair> {
                 (ci, cover)
             })
             .max_by_key(|&(_, cover)| cover)
-            .expect("nonempty candidates while uncovered remain");
+        else {
+            break;
+        };
         let cand = candidates[best_idx].clone();
         uncovered.retain(|&ti| !sets[ti].contains(&cand));
         chosen.push(cand);

@@ -91,22 +91,22 @@ pub struct ObdFault {
 }
 
 impl ObdFault {
-    /// The transistor within the cell implementing this gate.
+    /// The transistor within the cell implementing this gate, or `None`
+    /// when the pin has no leaf in the relevant network — a mismatched
+    /// fault/cell pairing the caller must account for rather than panic
+    /// over.
     ///
     /// For simple cells (INV/NAND/NOR) every pin has exactly one leaf per
     /// network, and leaf order equals pin order, so the leaf index is the
     /// pin itself.
-    pub fn cell_transistor(&self, cell: &Cell) -> CellTransistor {
+    pub fn cell_transistor(&self, cell: &Cell) -> Option<CellTransistor> {
         let side = self.polarity.side();
         let leaves = match side {
             NetworkSide::Pulldown => cell.pulldown.leaves(),
             NetworkSide::Pullup => cell.pullup.leaves(),
         };
-        let leaf = leaves
-            .iter()
-            .position(|&p| p == self.pin)
-            .expect("pin exists in cell network");
-        CellTransistor { side, leaf }
+        let leaf = leaves.iter().position(|&p| p == self.pin)?;
+        Some(CellTransistor { side, leaf })
     }
 
     /// Formats the fault like `g7/A:PMOS@MBD2` given the netlist.
@@ -208,7 +208,7 @@ mod tests {
             polarity: Polarity::Pmos,
             stage: BreakdownStage::Mbd1,
         };
-        let t = f.cell_transistor(&cell);
+        let t = f.cell_transistor(&cell).unwrap();
         assert_eq!(t.side, NetworkSide::Pullup);
         assert_eq!(t.pin(&cell), 1);
     }

@@ -43,6 +43,10 @@
 //! * [`complex`] — analog characterization of complex (AOI/OAI) cells,
 //!   §5's "especially for complex gates" case.
 
+// Library code must surface failures as typed errors, never panic;
+// tests keep the ergonomic forms.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod annotate;
 pub mod cache;
 pub mod characterize;

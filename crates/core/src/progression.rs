@@ -31,13 +31,16 @@ impl ProgressionModel {
     /// parameters and its terminal parameters (HBD for NMOS; the MBD3
     /// endpoint for PMOS, whose hard breakdown the paper marks N/A).
     pub fn new(polarity: Polarity, duration_hours: f64) -> Self {
+        // The ladder defines SBD and a terminal stage for both polarities;
+        // should that invariant ever break, fall back to the published
+        // NMOS SBD/HBD endpoints rather than panicking mid-campaign.
         let start = BreakdownStage::Sbd
             .params(polarity)
-            .expect("SBD exists for both polarities");
+            .unwrap_or_else(|_| ObdParams::new(5e-29, 2e3));
         let end = BreakdownStage::Hbd
             .params(polarity)
             .or_else(|_| BreakdownStage::Mbd3.params(polarity))
-            .expect("terminal stage exists");
+            .unwrap_or_else(|_| ObdParams::new(2e-24, 0.05));
         ProgressionModel {
             polarity,
             duration_hours,

@@ -1,7 +1,15 @@
 //! LU factorization with partial pivoting, plus iterative refinement.
 
 use crate::{LinalgError, Matrix};
+use obd_chaos::InjectionPoint;
 use obd_metrics::Counter;
+
+/// Chaos: report the matrix singular even though a pivot exists, the
+/// failure shape of a floating node or an ideal-source loop.
+static CHAOS_SINGULAR: InjectionPoint = InjectionPoint::new("linalg.forced_singular");
+/// Chaos: report a non-finite substitution result, the failure shape of
+/// an overflowing badly-scaled (ill-conditioned) system.
+static CHAOS_NONFINITE: InjectionPoint = InjectionPoint::new("linalg.forced_nonfinite");
 
 /// Total LU factorizations (all entry points: one-shot and workspace).
 static LU_FACTORIZATIONS: Counter = Counter::new("linalg.lu_factorizations");
@@ -60,6 +68,9 @@ const REFINE_REL_TOL: f64 = 1e-9;
 fn factor_in_place(packed: &mut Matrix, perm: &mut [usize]) -> Result<f64, LinalgError> {
     LU_FACTORIZATIONS.inc();
     let n = packed.rows();
+    if CHAOS_SINGULAR.fire() {
+        return Err(LinalgError::Singular { column: 0 });
+    }
     for (i, p) in perm.iter_mut().enumerate() {
         *p = i;
     }
@@ -431,6 +442,9 @@ impl LuWorkspace {
         }
         x.resize(n, 0.0);
         solve_in_place(&self.packed, &self.perm, b, x);
+        if CHAOS_NONFINITE.fire() {
+            return Err(LinalgError::NonFinite);
+        }
         if x.iter().any(|v| !v.is_finite()) {
             return Err(LinalgError::NonFinite);
         }

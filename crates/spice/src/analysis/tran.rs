@@ -9,6 +9,7 @@ use crate::circuit::Circuit;
 use crate::devices::{EvalCtx, Integration};
 use crate::engine::Solver;
 use crate::{SimOptions, SpiceError, Waveform};
+use obd_chaos::InjectionPoint;
 use obd_metrics::Counter;
 
 /// Transient steps accepted into the waveform.
@@ -19,6 +20,12 @@ static TRAN_PREDICTOR_HITS: Counter = Counter::new("spice.tran_predictor_hits");
 static TRAN_PREDICTOR_FALLBACKS: Counter = Counter::new("spice.tran_predictor_fallbacks");
 /// Step rejections: each convergence failure that triggered a halving.
 static TRAN_STEP_REJECTIONS: Counter = Counter::new("spice.tran_step_rejections");
+/// Steps whose halving retries ran out and climbed the escalation ladder.
+static TRAN_ESCALATIONS: Counter = Counter::new("spice.tran_escalations");
+
+/// Chaos: reject a transient step before its solve, exercising the
+/// halving/escalation recovery path.
+static CHAOS_STEP_REJECT: InjectionPoint = InjectionPoint::new("spice.tran_step_reject");
 
 /// Integration method selection for transient analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,8 +138,17 @@ pub fn transient_with_options(
     // extrapolated seed built from it, both preallocated.
     let mut x_prev = x.clone();
     let mut x_pred = vec![0.0; solver.dim()];
-    while t < params.stop - 0.5 * params.step {
-        let target = (t + params.step).min(params.stop);
+    while t < params.stop {
+        // Clamp the final step so the window ends with exactly one sample
+        // at `stop`: a window whose length is not an integer multiple of
+        // `step` merges the sub-half-step remainder into the last step
+        // instead of skipping it, and accumulated floating-point drift can
+        // neither skip the final sample nor emit a duplicate near `stop`.
+        let mut target = t + params.step;
+        if target >= params.stop - 0.5 * params.step {
+            target = params.stop;
+        }
+        solver.begin_solve_budget();
         let mut stepped = false;
         if opts.predictor && !first_step {
             // Seed Newton with the linear extrapolation of the last two
@@ -200,8 +216,28 @@ fn attempt_step(
     startup: bool,
 ) -> Result<(), SpiceError> {
     let ctx = step_ctx(opts, params, t1, t1 - t0, startup);
+    if CHAOS_STEP_REJECT.fire() {
+        return Err(SpiceError::Convergence {
+            analysis: "tran",
+            at: Some(t1),
+            detail: "injected step rejection (chaos)".into(),
+        });
+    }
     solver.newton_into(&ctx, seed, out)?;
+    check_finite(out, t1)?;
     accept(ckt, solver, out, &ctx);
+    Ok(())
+}
+
+/// Guard between solve and history commit: a non-finite solution must
+/// never be accepted into device state or the waveform.
+fn check_finite(x: &[f64], t1: f64) -> Result<(), SpiceError> {
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(SpiceError::NonFinite {
+            analysis: "tran",
+            at: Some(t1),
+        });
+    }
     Ok(())
 }
 
@@ -239,11 +275,25 @@ fn advance_to(
     halvings_left: u32,
 ) -> Result<(), SpiceError> {
     let ctx = step_ctx(opts, params, t1, t1 - t0, startup);
-    match solver.newton_into(&ctx, x0, out) {
+    let first_try = if CHAOS_STEP_REJECT.fire() {
+        Err(SpiceError::Convergence {
+            analysis: "tran",
+            at: Some(t1),
+            detail: "injected step rejection (chaos)".into(),
+        })
+    } else {
+        solver
+            .newton_into(&ctx, x0, out)
+            .and_then(|()| check_finite(out, t1))
+    };
+    match first_try {
         Ok(()) => {
             accept(ckt, solver, out, &ctx);
             Ok(())
         }
+        // A budget stop is terminal by design: retrying after the budget
+        // ran out would defeat its purpose.
+        Err(e @ SpiceError::BudgetExhausted { .. }) => Err(e),
         Err(_) if halvings_left > 0 => {
             TRAN_STEP_REJECTIONS.inc();
             // Off the hot path: a failed step may allocate for the
@@ -275,11 +325,27 @@ fn advance_to(
                 halvings_left - 1,
             )
         }
-        Err(e) => Err(SpiceError::Convergence {
-            analysis: "tran",
-            at: Some(t1),
-            detail: e.to_string(),
-        }),
+        Err(e) => {
+            // Halving retries are exhausted: climb the same escalation
+            // ladder the operating point uses (gmin stepping, then source
+            // stepping) at this step's context before giving up.
+            TRAN_ESCALATIONS.inc();
+            match solver
+                .solve_escalated(&ctx, x0, out)
+                .and_then(|esc| check_finite(out, t1).map(|()| esc))
+            {
+                Ok(_) => {
+                    accept(ckt, solver, out, &ctx);
+                    Ok(())
+                }
+                Err(e2 @ SpiceError::BudgetExhausted { .. }) => Err(e2),
+                Err(e2) => Err(SpiceError::Convergence {
+                    analysis: "tran",
+                    at: Some(t1),
+                    detail: format!("{e}; escalation failed: {e2}"),
+                }),
+            }
+        }
     }
 }
 
@@ -367,6 +433,66 @@ mod tests {
         // No transient at all: output pinned at 1.5 V throughout.
         let (lo, hi) = wave.extrema(out);
         assert!((lo - 1.5).abs() < 1e-6 && (hi - 1.5).abs() < 1e-6);
+    }
+
+    /// End-of-window clamping: whether or not the window is an integer
+    /// multiple of the step, the waveform ends with exactly one sample at
+    /// exactly `stop` and none beyond it.
+    #[test]
+    fn final_sample_lands_exactly_on_stop() {
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let out = c.node("out");
+            c.add_vsource(Vsource::new(
+                "V1",
+                vin,
+                Circuit::GROUND,
+                SourceWave::dc(1.0),
+            ));
+            c.add_resistor(Resistor::new("R1", vin, out, 1e3));
+            c.add_capacitor(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+            c
+        };
+        // (step, stop): integer multiple, and two non-multiples straddling
+        // the half-step clamp threshold.
+        for (step, stop) in [(2e-12, 10e-12), (3e-12, 10e-12), (4e-12, 10e-12)] {
+            let c = build();
+            let wave = transient(&c, &TranParams::new(step, stop)).unwrap();
+            let times = wave.time();
+            let at_stop = times.iter().filter(|&&t| t == stop).count();
+            assert_eq!(at_stop, 1, "step {step:e}: exactly one sample at stop");
+            assert_eq!(
+                *times.last().unwrap(),
+                stop,
+                "step {step:e}: last sample must be the stop time"
+            );
+            assert!(
+                times.iter().all(|&t| t <= stop),
+                "step {step:e}: no sample may pass stop"
+            );
+        }
+    }
+
+    /// An integer-multiple window produces the same uniform grid as the
+    /// pre-clamp stepper: 0, h, 2h, …, stop.
+    #[test]
+    fn integer_multiple_window_grid_is_uniform() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(1.0),
+        ));
+        c.add_resistor(Resistor::new("R1", vin, Circuit::GROUND, 1e3));
+        let wave = transient(&c, &TranParams::new(2e-12, 10e-12)).unwrap();
+        let times = wave.time();
+        assert_eq!(times.len(), 6);
+        for (i, &t) in times.iter().enumerate() {
+            assert!((t - 2e-12 * i as f64).abs() < 1e-18, "sample {i} at {t:e}");
+        }
     }
 
     #[test]

@@ -152,8 +152,14 @@ impl Device {
             Device::Capacitor(d) => d.stamp(st, x, ctx, state),
             Device::Diode(d) => d.stamp(st, x, ctx, state),
             Device::Vsource(d) => {
-                let b = branch.expect("vsource requires a branch row");
-                d.stamp(st, ctx, b);
+                // The engine assigns every vsource a branch row at
+                // construction; a missing one is an engine bug, but the
+                // release path degrades to skipping the stamp (yielding a
+                // singular-matrix error downstream) instead of panicking.
+                debug_assert!(branch.is_some(), "vsource requires a branch row");
+                if let Some(b) = branch {
+                    d.stamp(st, ctx, b);
+                }
             }
             Device::Isource(d) => d.stamp(st, ctx),
             Device::Mosfet(d) => d.stamp(st, x, ctx, state),

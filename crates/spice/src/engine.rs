@@ -1,6 +1,9 @@
 //! Nonlinear solution engine: damped Newton–Raphson with junction limiting,
 //! plus gmin stepping and source stepping for hard operating points.
 
+use std::time::Instant;
+
+use obd_chaos::InjectionPoint;
 use obd_linalg::LuWorkspace;
 use obd_metrics::{Counter, Histogram};
 
@@ -15,11 +18,38 @@ static NEWTON_ITERATIONS: Counter = Counter::new("spice.newton_iterations");
 static NEWTON_SOLVES: Counter = Counter::new("spice.newton_solves");
 /// Newton solves that exhausted `max_newton` without converging.
 static NEWTON_NONCONVERGED: Counter = Counter::new("spice.newton_nonconverged");
+/// Newton solves aborted by the NaN/Inf iterate guard.
+static NEWTON_NONFINITE: Counter = Counter::new("spice.newton_nonfinite");
+/// Top-level solves aborted by the iteration/wall-clock budget.
+static SOLVE_BUDGET_EXHAUSTED: Counter = Counter::new("spice.solve_budget_exhausted");
+/// Solves recovered by the gmin-stepping rung of the escalation ladder.
+static ESCALATIONS_GMIN: Counter = Counter::new("spice.escalations_gmin");
+/// Solves recovered by the source-stepping rung of the escalation ladder.
+static ESCALATIONS_SOURCE: Counter = Counter::new("spice.escalations_source");
 /// Iterations needed per converged Newton solve.
 static NEWTON_ITERS_PER_SOLVE: Histogram = Histogram::new(
     "spice.newton_iters_per_solve",
     &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 150],
 );
+
+/// Chaos: poison the first Newton iterate with NaN; the finiteness guard
+/// must convert it into a typed [`SpiceError::NonFinite`].
+static CHAOS_NEWTON_NAN: InjectionPoint = InjectionPoint::new("spice.newton_nan");
+/// Chaos: force a whole Newton solve to report non-convergence, driving
+/// the caller onto the escalation ladder.
+static CHAOS_NEWTON_STALL: InjectionPoint = InjectionPoint::new("spice.newton_stall");
+
+/// Which rung of the escalation ladder produced a solution — reported by
+/// [`Solver::solve_escalated`] so analyses can account for recoveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Escalation {
+    /// The direct Newton solve converged.
+    Direct,
+    /// Gmin stepping recovered the solve.
+    GminStepping,
+    /// Source stepping recovered the solve.
+    SourceStepping,
+}
 
 /// A prepared solver for one circuit: the stamp workspaces, the branch-row
 /// assignment for voltage sources, and per-device state.
@@ -49,6 +79,12 @@ pub struct Solver<'c> {
     x_new: Vec<f64>,
     /// Cumulative Newton iterations (one LU solve each) since creation.
     newton_iterations: u64,
+    /// Iterations remaining in the current solve budget (`None` =
+    /// unlimited).
+    budget_left: Option<u64>,
+    /// Wall-clock deadline of the current solve budget, armed by
+    /// [`Solver::begin_solve_budget`].
+    budget_deadline: Option<Instant>,
     opts: SimOptions,
 }
 
@@ -90,8 +126,50 @@ impl<'c> Solver<'c> {
             ws: LuWorkspace::with_order(dim),
             x_new: vec![0.0; dim],
             newton_iterations: 0,
+            budget_left: opts.max_solve_iterations,
+            budget_deadline: None,
             opts: opts.clone(),
         })
+    }
+
+    /// Starts a fresh solve budget: resets the iteration allowance and,
+    /// when a wall-clock ceiling is configured, arms the deadline. Called
+    /// at the top of each operating-point solve and each transient step,
+    /// so the budget bounds one step's whole retry/escalation tree.
+    pub fn begin_solve_budget(&mut self) {
+        self.budget_left = self.opts.max_solve_iterations;
+        self.budget_deadline = self.opts.max_solve_wall.map(|w| Instant::now() + w);
+    }
+
+    /// Budget gate, checked once per Newton iteration. Branch-only when no
+    /// budget is configured — in particular the clock is never read unless
+    /// a wall ceiling was requested.
+    fn budget_check(&mut self, ctx: &EvalCtx) -> Result<(), SpiceError> {
+        if let Some(left) = self.budget_left.as_mut() {
+            if *left == 0 {
+                SOLVE_BUDGET_EXHAUSTED.inc();
+                return Err(SpiceError::BudgetExhausted {
+                    analysis: "newton",
+                    at: Some(ctx.time),
+                    detail: format!(
+                        "iteration budget of {} exhausted",
+                        self.opts.max_solve_iterations.unwrap_or(0)
+                    ),
+                });
+            }
+            *left -= 1;
+        }
+        if let Some(deadline) = self.budget_deadline {
+            if Instant::now() >= deadline {
+                SOLVE_BUDGET_EXHAUSTED.inc();
+                return Err(SpiceError::BudgetExhausted {
+                    analysis: "newton",
+                    at: Some(ctx.time),
+                    detail: "wall-clock budget exhausted".into(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// System dimension (node voltages + source branch currents).
@@ -154,6 +232,18 @@ impl<'c> Solver<'c> {
         let n_nodes = self.ckt.num_nodes() - 1;
         let devices = self.ckt.devices();
 
+        if CHAOS_NEWTON_STALL.fire() {
+            NEWTON_NONCONVERGED.inc();
+            return Err(SpiceError::Convergence {
+                analysis: "newton",
+                at: Some(ctx.time),
+                detail: "injected non-convergence (chaos)".into(),
+            });
+        }
+        // When this point fires, the first iterate is poisoned with NaN
+        // after the linear solve; the finiteness guard below must catch it.
+        let mut poison_iterate = CHAOS_NEWTON_NAN.fire();
+
         // The linear part — resistors, capacitor companions, independent
         // sources, gmin loading — depends only on the evaluation context
         // and per-step history, both fixed for this whole solve: stamp it
@@ -175,6 +265,7 @@ impl<'c> Solver<'c> {
         }
 
         for iter in 0..self.opts.max_newton {
+            self.budget_check(ctx)?;
             self.newton_iterations += 1;
             NEWTON_ITERATIONS.inc();
             if reference {
@@ -212,6 +303,23 @@ impl<'c> Solver<'c> {
                 // them skip the factorization (and often the whole solve).
                 self.ws
                     .solve_memo_into(&self.stamp.a, &self.stamp.z, &mut self.x_new)?;
+            }
+
+            if poison_iterate {
+                poison_iterate = false;
+                if let Some(v) = self.x_new.first_mut() {
+                    *v = f64::NAN;
+                }
+            }
+            // Silent-garbage guard: a NaN/Inf iterate would survive the
+            // damped update below (NaN fails every comparison) and could
+            // eventually be reported as a converged solution.
+            if self.x_new.iter().any(|v| !v.is_finite()) {
+                NEWTON_NONFINITE.inc();
+                return Err(SpiceError::NonFinite {
+                    analysis: "newton",
+                    at: Some(ctx.time),
+                });
             }
 
             // Damped update: clamp node-voltage moves; branch currents are
@@ -264,7 +372,9 @@ impl<'c> Solver<'c> {
     ///
     /// # Errors
     ///
-    /// [`SpiceError::Convergence`] if every strategy fails.
+    /// [`SpiceError::Convergence`] if every strategy fails,
+    /// [`SpiceError::BudgetExhausted`] if a configured solve budget runs
+    /// out first.
     pub fn operating_point(&mut self) -> Result<Vec<f64>, SpiceError> {
         let base_ctx = EvalCtx {
             time: 0.0,
@@ -273,59 +383,114 @@ impl<'c> Solver<'c> {
             integ: Integration::Dc,
             vt: crate::thermal_voltage_at(self.opts.temperature_c),
         };
-        // `x` is the evolving continuation guess, `x_next` the per-solve
-        // output buffer; the two are swapped instead of reallocated.
-        let mut x = vec![0.0; self.dim()];
-        let mut x_next = vec![0.0; self.dim()];
-
-        // 1. Direct attempt.
-        if self.newton_into(&base_ctx, &x, &mut x_next).is_ok() {
-            return Ok(x_next);
+        self.begin_solve_budget();
+        let x0 = vec![0.0; self.dim()];
+        let mut out = vec![0.0; self.dim()];
+        match self.solve_escalated(&base_ctx, &x0, &mut out) {
+            Ok(_) => Ok(out),
+            Err(SpiceError::Convergence { at, detail, .. }) => Err(SpiceError::Convergence {
+                analysis: "op",
+                at,
+                detail,
+            }),
+            Err(e) => Err(e),
         }
+    }
 
-        // 2. Gmin stepping: solve with a large parallel conductance, then
-        //    relax it back down, reusing each solution as the next guess.
-        let mut ok = true;
+    /// One Newton attempt, separating recoverable failures (`Ok(false)`:
+    /// try the next ladder rung) from terminal ones that must propagate —
+    /// budget exhaustion in particular, since retrying after the budget
+    /// ran out would defeat its purpose.
+    fn try_newton(
+        &mut self,
+        ctx: &EvalCtx,
+        x0: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<bool, SpiceError> {
+        match self.newton_into(ctx, x0, out) {
+            Ok(()) => Ok(true),
+            Err(e @ SpiceError::BudgetExhausted { .. }) => Err(e),
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Gmin-stepping rung: solve with a large parallel conductance, then
+    /// relax it back down the ladder, reusing each solution as the next
+    /// guess, and finish with a solve at the target context. `Ok(true)`
+    /// leaves the solution in `out`.
+    fn gmin_restep(
+        &mut self,
+        ctx: &EvalCtx,
+        x_seed: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<bool, SpiceError> {
+        let mut x = x_seed.to_vec();
         for step in 0..self.opts.gmin_steps.len() {
             let g = self.opts.gmin_steps[step];
             self.reset_limit_state();
-            let ctx = EvalCtx {
-                gmin: g,
-                ..base_ctx
-            };
-            if self.newton_into(&ctx, &x, &mut x_next).is_ok() {
-                std::mem::swap(&mut x, &mut x_next);
-            } else {
-                ok = false;
-                break;
+            let c = EvalCtx { gmin: g, ..*ctx };
+            if !self.try_newton(&c, &x, out)? {
+                return Ok(false);
             }
+            std::mem::swap(&mut x, out);
         }
-        if ok {
-            self.reset_limit_state();
-            if self.newton_into(&base_ctx, &x, &mut x_next).is_ok() {
-                return Ok(x_next);
-            }
-        }
+        self.reset_limit_state();
+        self.try_newton(ctx, &x, out)
+    }
 
-        // 3. Source stepping: ramp all independent sources from 0.
-        x.iter_mut().for_each(|v| *v = 0.0);
+    /// Source-stepping rung: ramp all independent sources from zero up to
+    /// the context's own scale. `Ok(true)` leaves the solution in `out`.
+    fn source_restep(&mut self, ctx: &EvalCtx, out: &mut Vec<f64>) -> Result<bool, SpiceError> {
+        let mut x = vec![0.0; self.dim()];
         let steps = self.opts.source_steps.max(1);
         for k in 0..=steps {
             self.reset_limit_state();
-            let scale = k as f64 / steps as f64;
-            let ctx = EvalCtx {
+            let scale = ctx.source_scale * k as f64 / steps as f64;
+            let c = EvalCtx {
                 source_scale: scale,
-                ..base_ctx
+                ..*ctx
             };
-            self.newton_into(&ctx, &x, &mut x_next)
-                .map_err(|_| SpiceError::Convergence {
-                    analysis: "op",
-                    at: Some(scale),
-                    detail: "source stepping failed".into(),
-                })?;
-            std::mem::swap(&mut x, &mut x_next);
+            if !self.try_newton(&c, &x, out)? {
+                return Ok(false);
+            }
+            std::mem::swap(&mut x, out);
         }
-        Ok(x)
+        out.clear();
+        out.extend_from_slice(&x);
+        Ok(true)
+    }
+
+    /// Unified escalation ladder at one evaluation context: direct Newton,
+    /// then gmin stepping, then source stepping. Shared by the operating
+    /// point and by transient steps whose halving retries are exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Convergence`] when all three rungs fail;
+    /// [`SpiceError::BudgetExhausted`] as soon as a configured solve
+    /// budget runs out, from whichever rung was active.
+    pub fn solve_escalated(
+        &mut self,
+        ctx: &EvalCtx,
+        x0: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<Escalation, SpiceError> {
+        if self.try_newton(ctx, x0, out)? {
+            return Ok(Escalation::Direct);
+        }
+        if self.gmin_restep(ctx, x0, out)? {
+            ESCALATIONS_GMIN.inc();
+            return Ok(Escalation::GminStepping);
+        }
+        if self.source_restep(ctx, out)? {
+            ESCALATIONS_SOURCE.inc();
+            return Ok(Escalation::SourceStepping);
+        }
+        Err(SpiceError::Convergence {
+            analysis: "escalation",
+            at: Some(ctx.time),
+            detail: "direct solve, gmin stepping and source stepping all failed".into(),
+        })
     }
 
     /// Clears junction-limiting memory (kept between continuation steps,
@@ -432,6 +597,43 @@ mod tests {
         let x = s.operating_point().unwrap();
         let vd = s.voltage(&x, a);
         assert!(vd > 1.4 && vd < 2.1, "vd = {vd}");
+    }
+
+    /// A diode solve needs well over two Newton iterations; a two-iteration
+    /// budget must surface as the typed terminal error, not as a retry loop
+    /// or a panic.
+    #[test]
+    fn iteration_budget_exhausts_as_typed_error() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let a = c.node("a");
+        c.add_vsource(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(3.0),
+        ));
+        c.add_resistor(Resistor::new("R1", vin, a, 1e3));
+        c.add_diode(Diode::new(
+            "D1",
+            a,
+            Circuit::GROUND,
+            DiodeParams::new(1e-14),
+        ));
+        let opts = SimOptions::new().with_iteration_budget(2);
+        let mut s = Solver::new(&c, &opts).unwrap();
+        match s.operating_point() {
+            Err(crate::SpiceError::BudgetExhausted { analysis, .. }) => {
+                assert_eq!(analysis, "newton");
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        // A generous budget leaves the solve untouched.
+        let opts = SimOptions::new().with_iteration_budget(10_000);
+        let mut s = Solver::new(&c, &opts).unwrap();
+        let x = s.operating_point().unwrap();
+        let vd = s.voltage(&x, a);
+        assert!(vd > 0.5 && vd < 0.8, "vd = {vd}");
     }
 
     #[test]

@@ -23,6 +23,26 @@ pub enum SpiceError {
         /// Description of the likely cause.
         detail: String,
     },
+    /// A Newton iterate or linear-solve result contained NaN/Inf. Raised
+    /// by the finiteness guards instead of letting garbage propagate into
+    /// a "converged" solution.
+    NonFinite {
+        /// Which analysis detected it, e.g. `"newton"`, `"tran"`.
+        analysis: &'static str,
+        /// Simulation time at detection, if meaningful.
+        at: Option<f64>,
+    },
+    /// The per-solve iteration or wall-clock budget ran out before the
+    /// escalation ladder found a solution. Deliberately not retried:
+    /// budgets exist to bound worst-case solve cost.
+    BudgetExhausted {
+        /// Which analysis hit the budget.
+        analysis: &'static str,
+        /// Simulation time at exhaustion, if meaningful.
+        at: Option<f64>,
+        /// Which budget ran out.
+        detail: String,
+    },
     /// The circuit is structurally invalid (e.g. nonpositive resistance,
     /// unknown node, empty PWL list).
     InvalidCircuit(String),
@@ -45,6 +65,18 @@ impl fmt::Display for SpiceError {
                 None => write!(f, "{analysis} analysis failed to converge: {detail}"),
             },
             SpiceError::Singular { detail } => write!(f, "singular MNA matrix: {detail}"),
+            SpiceError::NonFinite { analysis, at } => match at {
+                Some(t) => write!(f, "{analysis} produced a non-finite solution at {t:.4e}"),
+                None => write!(f, "{analysis} produced a non-finite solution"),
+            },
+            SpiceError::BudgetExhausted {
+                analysis,
+                at,
+                detail,
+            } => match at {
+                Some(t) => write!(f, "{analysis} solve budget exhausted at {t:.4e}: {detail}"),
+                None => write!(f, "{analysis} solve budget exhausted: {detail}"),
+            },
             SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
             SpiceError::NotFound(what) => write!(f, "not found: {what}"),
         }
@@ -55,8 +87,16 @@ impl Error for SpiceError {}
 
 impl From<LinalgError> for SpiceError {
     fn from(e: LinalgError) -> Self {
-        SpiceError::Singular {
-            detail: e.to_string(),
+        match e {
+            // A NaN/Inf solution is a distinct failure mode from a
+            // structurally singular matrix and escalates differently.
+            LinalgError::NonFinite => SpiceError::NonFinite {
+                analysis: "linalg",
+                at: None,
+            },
+            other => SpiceError::Singular {
+                detail: other.to_string(),
+            },
         }
     }
 }

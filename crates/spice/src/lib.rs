@@ -40,6 +40,10 @@
 //! # }
 //! ```
 
+// Library code must surface failures as typed errors, never panic;
+// tests keep the ergonomic forms.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
 pub mod circuit;
 pub mod devices;

@@ -40,6 +40,16 @@ pub struct SimOptions {
     /// waveforms; a step that fails from the predicted seed is retried
     /// from the unpredicted one, so robustness is unchanged.
     pub predictor: bool,
+    /// Hard ceiling on Newton iterations spent on one top-level solve —
+    /// an operating point including its whole escalation ladder, or one
+    /// transient step including halvings and escalation. `None` (the
+    /// default) is unlimited; exhaustion yields
+    /// [`SpiceError::BudgetExhausted`](crate::SpiceError::BudgetExhausted).
+    pub max_solve_iterations: Option<u64>,
+    /// Wall-clock ceiling on one top-level solve. Checked once per Newton
+    /// iteration, and only when set, so the default path never reads the
+    /// clock.
+    pub max_solve_wall: Option<std::time::Duration>,
 }
 
 impl SimOptions {
@@ -58,7 +68,21 @@ impl SimOptions {
             temperature_c: 26.85,
             reference_kernel: false,
             predictor: true,
+            max_solve_iterations: None,
+            max_solve_wall: None,
         }
+    }
+
+    /// The same options with a per-solve Newton iteration ceiling.
+    pub fn with_iteration_budget(mut self, iterations: u64) -> Self {
+        self.max_solve_iterations = Some(iterations);
+        self
+    }
+
+    /// The same options with a per-solve wall-clock ceiling.
+    pub fn with_wall_budget(mut self, wall: std::time::Duration) -> Self {
+        self.max_solve_wall = Some(wall);
+        self
     }
 
     /// The same options running the reference (baseline) Newton kernel,

@@ -74,8 +74,10 @@ impl Waveform {
     ///
     /// Panics if the node was not recorded.
     pub fn trace(&self, n: NodeId) -> &[f64] {
-        self.trace_opt(n)
-            .expect("node was not recorded in this waveform")
+        match self.trace_opt(n) {
+            Some(t) => t,
+            None => panic!("node {} was not recorded in this waveform", n.index()),
+        }
     }
 
     /// Voltage trace of a node, if recorded.
@@ -174,8 +176,10 @@ impl Waveform {
         if t <= self.time[0] {
             return y[0];
         }
-        if t >= *self.time.last().unwrap() {
-            return *y.last().unwrap();
+        if let (Some(&t_last), Some(&y_last)) = (self.time.last(), y.last()) {
+            if t >= t_last {
+                return y_last;
+            }
         }
         // Binary search for the bracketing interval.
         let idx = self.time.partition_point(|&tt| tt < t);
@@ -188,9 +192,11 @@ impl Waveform {
         }
     }
 
-    /// Final (last-sample) value of a trace.
+    /// Final (last-sample) value of a trace, or NaN when the waveform is
+    /// empty — NaN fails every threshold comparison downstream, so an
+    /// empty waveform degrades to "never crossed" rather than panicking.
     pub fn final_value(&self, n: NodeId) -> f64 {
-        *self.trace(n).last().expect("empty waveform")
+        self.trace(n).last().copied().unwrap_or(f64::NAN)
     }
 
     /// Writes the time axis plus the given node traces as CSV with header

@@ -9,6 +9,14 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Run the test suite once more at release optimization with debug
+# assertions enabled: the solver guards carry debug_assert!s that the
+# plain release profile compiles out, and the dev profile (used by the
+# plain `cargo test` above) doesn't exercise the optimized code paths.
+# Separate target dir so the main release artifact cache stays warm.
+RUSTFLAGS="-C debug-assertions=on" cargo test -q --offline --workspace \
+    --release --target-dir target/debug-assert
+
 # Smoke the observability layer end to end: `repro stats` must emit a
 # parseable metrics snapshot with the key engine counters nonzero.
 ./target/release/repro stats
@@ -24,6 +32,29 @@ print(
     "METRICS_run.json ok:",
     f"newton_iterations={counters['spice.newton_iterations']}",
     f"lu_factorizations={counters['linalg.lu_factorizations']}",
+)
+EOF
+
+# Smoke the fault-injection harness: a fixed-seed chaos campaign must
+# inject a substantial fault load across every layer with zero panics
+# and exact accounting (injected == recovered + degraded + reported).
+OBD_CHAOS_SEED=0xC0FFEE ./target/release/repro chaos
+python3 - <<'EOF'
+import json
+
+with open("results/CHAOS_run.json") as f:
+    run = json.load(f)
+assert run["panics"] == 0, f"chaos campaign panicked: {run['panics']}"
+assert run["accounted"], "chaos accounting did not balance"
+assert run["injected_total"] >= 200, f"too few injections: {run['injected_total']}"
+assert run["recovered_total"] > 0, "no injection was recovered"
+layers = {l["layer"] for l in run["layers"] if l["injected"] > 0}
+assert layers == {"linalg", "spice", "core", "atpg"}, f"layers missing injections: {layers}"
+print(
+    "CHAOS_run.json ok:",
+    f"injected={run['injected_total']}",
+    f"recovered={run['recovered_total']}",
+    "panics=0",
 )
 EOF
 
