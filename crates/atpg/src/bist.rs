@@ -16,6 +16,7 @@ use obd_logic::value::Lv;
 
 use crate::fault::{Fault, TwoPatternTest};
 use crate::faultsim::FaultSimulator;
+use crate::ppsfp::{PpsfpEngine, PpsfpScratch};
 use crate::AtpgError;
 
 /// Maximal-length feedback taps (Fibonacci form, 1-indexed bit
@@ -249,7 +250,9 @@ impl BistResult {
 /// the MISR and compares to the golden signature.
 ///
 /// The faulty capture uses the gate-level OBD fault semantics (output
-/// holds its launch value when the defect is excited).
+/// holds its launch value when the defect is excited). Per-test fault
+/// responses come from one packed [`PpsfpEngine`] detection row rather
+/// than a scalar simulation per pattern.
 ///
 /// # Errors
 ///
@@ -261,16 +264,21 @@ pub fn run_bist(
 ) -> Result<BistResult, AtpgError> {
     let order = nl.levelize()?;
     let sim = FaultSimulator::new(nl)?;
+    let fail_row = match fault {
+        Some(f) => {
+            let engine = PpsfpEngine::prepare(&sim, tests)?;
+            let mut scratch = PpsfpScratch::default();
+            Some(engine.detection_row(f, &mut scratch)?)
+        }
+        None => None,
+    };
     let mut golden = Misr::new();
     let mut observed = Misr::new();
-    for t in tests {
+    for (i, t) in tests.iter().enumerate() {
         let good = simulate_with_order(nl, &order, &t.v2)?;
         let good_outs = good.outputs(nl);
         golden.absorb(&good_outs);
-        let fails = match fault {
-            Some(f) => sim.detects(f, t)?,
-            None => false,
-        };
+        let fails = fail_row.as_ref().is_some_and(|row| row[i]);
         if fails {
             // The captured response differs at one or more outputs; flip
             // the first one for the signature (any corruption breaks the

@@ -24,6 +24,7 @@ use obd_logic::sim::simulate_with_order;
 use obd_logic::value::Lv;
 
 use crate::fault::{DetectionCriterion, Fault, SlowTo, TwoPatternTest};
+use crate::ppsfp::{PpsfpEngine, PpsfpScratch};
 use crate::AtpgError;
 use obd_chaos::InjectionPoint;
 use obd_metrics::Counter;
@@ -64,9 +65,9 @@ impl GradeOutcome {
 /// A prepared fault simulator for one netlist.
 #[derive(Debug)]
 pub struct FaultSimulator<'a> {
-    nl: &'a Netlist,
-    order: Vec<GateId>,
-    table: DelayTable,
+    pub(crate) nl: &'a Netlist,
+    pub(crate) order: Vec<GateId>,
+    pub(crate) table: DelayTable,
     criterion: DetectionCriterion,
     /// Per-gate at-speed slack (ps) from STA, replacing the global
     /// criterion when present.
@@ -134,7 +135,7 @@ impl<'a> FaultSimulator<'a> {
     }
 
     /// The detection slack applied to a defect at this gate.
-    fn slack_for(&self, gate: GateId) -> f64 {
+    pub(crate) fn slack_for(&self, gate: GateId) -> f64 {
         match &self.gate_slack {
             Some(v) => v[gate.index()],
             None => self.criterion.slack_ps,
@@ -339,6 +340,11 @@ impl<'a> FaultSimulator<'a> {
     /// Grades a test set against a fault list; returns per-fault detection
     /// flags.
     ///
+    /// Runs on the bit-parallel [`PpsfpEngine`]: good-machine responses
+    /// are computed once per 64-test block, each fault is evaluated
+    /// fault-major with dropping, and the results are bit-exact with
+    /// [`FaultSimulator::grade_scalar`].
+    ///
     /// # Errors
     ///
     /// Propagates detection errors.
@@ -347,57 +353,62 @@ impl<'a> FaultSimulator<'a> {
         faults: &[Fault],
         tests: &[TwoPatternTest],
     ) -> Result<Vec<bool>, AtpgError> {
+        if faults.is_empty() {
+            return Ok(Vec::new());
+        }
+        let engine = PpsfpEngine::prepare(self, tests)?;
+        let detected = engine.grade(faults)?;
+        FAULTS_GRADED.add(faults.len() as u64);
+        FAULTS_DETECTED.add(detected.iter().filter(|&&d| d).count() as u64);
+        Ok(detected)
+    }
+
+    /// The scalar reference grader: one three-valued simulation per
+    /// (fault, test) pair, fault-major with dropping — the loop the
+    /// PPSFP engine replaced, kept un-instrumented as the equivalence
+    /// and benchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection errors.
+    pub fn grade_scalar(
+        &self,
+        faults: &[Fault],
+        tests: &[TwoPatternTest],
+    ) -> Result<Vec<bool>, AtpgError> {
         let mut detected = vec![false; faults.len()];
-        for t in tests {
-            for (i, f) in faults.iter().enumerate() {
-                if !detected[i] && self.detects(f, t)? {
+        for (i, f) in faults.iter().enumerate() {
+            for t in tests {
+                if self.detects(f, t)? {
                     detected[i] = true;
+                    break;
                 }
             }
         }
-        FAULTS_GRADED.add(faults.len() as u64);
-        FAULTS_DETECTED.add(detected.iter().filter(|&&d| d).count() as u64);
         Ok(detected)
     }
 
     /// [`FaultSimulator::grade`] with graceful degradation: a fault whose
     /// detection errors out is marked [`GradeOutcome::Degraded`] and the
     /// campaign continues instead of aborting — the fault is still fully
-    /// accounted for in the returned vector.
+    /// accounted for in the returned vector. Detected *and* degraded
+    /// faults drop immediately (stop consuming tests).
     pub fn grade_degraded(&self, faults: &[Fault], tests: &[TwoPatternTest]) -> Vec<GradeOutcome> {
-        let mut out = Vec::with_capacity(faults.len());
-        for f in faults {
-            let mut res = GradeOutcome::Undetected;
-            for t in tests {
-                let det = if CHAOS_GRADE.fire() {
-                    Err(AtpgError::Internal(
-                        "injected grading failure (chaos)".into(),
-                    ))
-                } else {
-                    self.detects(f, t)
-                };
-                match det {
-                    Ok(true) => {
-                        res = GradeOutcome::Detected;
-                        break;
-                    }
-                    Ok(false) => {}
-                    Err(e) => {
-                        FAULTS_DEGRADED.inc();
-                        res = GradeOutcome::Degraded(e.to_string());
-                        break;
-                    }
-                }
-            }
-            out.push(res);
-        }
+        let out = match PpsfpEngine::prepare(self, tests) {
+            Ok(engine) => engine.grade_degraded(faults, &|| CHAOS_GRADE.fire()),
+            // Malformed test sets degrade every fault, as each would hit
+            // the same error at its first test in the scalar path.
+            Err(e) => vec![GradeOutcome::Degraded(e.to_string()); faults.len()],
+        };
+        FAULTS_DEGRADED.add(out.iter().filter(|o| o.is_degraded()).count() as u64);
         FAULTS_GRADED.add(faults.len() as u64);
         FAULTS_DETECTED.add(out.iter().filter(|o| o.is_detected()).count() as u64);
         out
     }
 
-    /// [`FaultSimulator::grade`] fanned out over OS threads; fault-level
-    /// parallelism, since every (fault, test) evaluation is independent.
+    /// [`FaultSimulator::grade`] fanned out over OS threads: workers
+    /// steal fault indices from a shared atomic counter (load-balanced
+    /// under fault dropping) and share one detected bitmap.
     ///
     /// # Errors
     ///
@@ -412,36 +423,8 @@ impl<'a> FaultSimulator<'a> {
         if threads <= 1 {
             return self.grade(faults, tests);
         }
-        let chunk = faults.len().div_ceil(threads);
-        let results: Vec<Result<Vec<bool>, AtpgError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for piece in faults.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    let mut detected = vec![false; piece.len()];
-                    for (i, f) in piece.iter().enumerate() {
-                        for t in tests {
-                            if self.detects(f, t)? {
-                                detected[i] = true;
-                                break;
-                            }
-                        }
-                    }
-                    Ok(detected)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(AtpgError::Internal("fault-grading worker panicked".into()))
-                    })
-                })
-                .collect()
-        });
-        let mut out = Vec::with_capacity(faults.len());
-        for r in results {
-            out.extend(r?);
-        }
+        let engine = PpsfpEngine::prepare(self, tests)?;
+        let out = engine.grade_parallel(faults, threads)?;
         FAULTS_GRADED.add(faults.len() as u64);
         FAULTS_DETECTED.add(out.iter().filter(|&&d| d).count() as u64);
         Ok(out)
@@ -464,7 +447,7 @@ impl<'a> FaultSimulator<'a> {
     }
 
     /// Builds the full detection matrix `matrix[t][f]` for compaction and
-    /// exhaustive analysis.
+    /// exhaustive analysis, via per-fault packed detection rows.
     ///
     /// # Errors
     ///
@@ -474,15 +457,15 @@ impl<'a> FaultSimulator<'a> {
         faults: &[Fault],
         tests: &[TwoPatternTest],
     ) -> Result<Vec<Vec<bool>>, AtpgError> {
-        tests
+        let engine = PpsfpEngine::prepare(self, tests)?;
+        let mut scratch = PpsfpScratch::default();
+        let rows: Vec<Vec<bool>> = faults
             .iter()
-            .map(|t| {
-                faults
-                    .iter()
-                    .map(|f| self.detects(f, t))
-                    .collect::<Result<Vec<bool>, _>>()
-            })
-            .collect()
+            .map(|f| engine.detection_row(f, &mut scratch))
+            .collect::<Result<_, _>>()?;
+        Ok((0..tests.len())
+            .map(|t| rows.iter().map(|r| r[t]).collect())
+            .collect())
     }
 
     /// The delay table in use.

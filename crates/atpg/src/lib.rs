@@ -17,6 +17,9 @@
 //! * [`faultsim`] — two-pattern fault simulation for every model, used for
 //!   coverage grading, test-set comparison and exhaustive small-circuit
 //!   analysis (the §4.3 full-adder statistics).
+//! * [`ppsfp`] — the bit-parallel PPSFP grading engine behind every
+//!   grading entry point: 64 tests per block, good responses cached per
+//!   block, fault dropping, work-stealing parallel shards.
 //! * [`compact`] — greedy and exact set-cover compaction (the paper's
 //!   "necessary and sufficient" minimal sets).
 //! * [`random`] — random/weighted two-pattern baselines standing in for a
@@ -68,6 +71,7 @@ pub mod faultsim;
 pub mod generate;
 pub mod ndetect;
 pub mod podem;
+pub mod ppsfp;
 pub mod random;
 pub mod rng;
 pub mod scan;
@@ -78,3 +82,4 @@ pub mod twoframe;
 
 pub use error::AtpgError;
 pub use fault::{DetectionCriterion, Fault, TwoPatternTest};
+pub use ppsfp::{PpsfpEngine, PpsfpScratch};

@@ -1,0 +1,622 @@
+//! Bit-parallel PPSFP fault grading.
+//!
+//! Parallel-pattern single-fault propagation: up to 64 two-pattern tests
+//! are packed into one [`PatternBlock`] per frame, the good-machine
+//! responses are computed **once per block** (not once per fault × test),
+//! and each fault's forced-value (held-output) propagation is evaluated
+//! for the whole block in a single packed sweep. Detection is then one
+//! XOR/OR reduction over the packed primary-output words.
+//!
+//! Bit-exactness vs the scalar path ([`FaultSimulator::detects`]): the
+//! packed simulator is two-valued (X packs as 0), so only *fully
+//! specified* tests are packed — every lane of a packed evaluation is
+//! then exactly one scalar three-valued evaluation, because all net
+//! values are known and the gate functions agree on known values.
+//! Tests carrying `X` bits fall back to the scalar path, preserving the
+//! scalar semantics for them too.
+//!
+//! The engine also carries the campaign-level machinery the scalar loops
+//! lacked: fault dropping (a detected fault leaves the campaign
+//! immediately), a reusable per-worker [`PpsfpScratch`] arena so the
+//! inner loop is allocation-free, and work-stealing parallel grading
+//! over an atomic fault index with a shared detected bitmap.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use obd_cmos::cell::Cell;
+use obd_cmos::switch::{excites, CellTransistor, NetworkSide};
+use obd_core::em::em_excites;
+use obd_core::faultmodel::Polarity;
+use obd_logic::netlist::{GateId, GateKind, NetId};
+use obd_logic::parallel::{simulate_block_forced_into, simulate_block_with_order, PatternBlock};
+use obd_logic::value::Lv;
+use obd_metrics::Counter;
+
+use crate::fault::{Fault, SlowTo, TwoPatternTest};
+use crate::faultsim::{stuck_output_value, FaultSimulator, GradeOutcome};
+use crate::AtpgError;
+
+/// (fault, block) packed evaluations performed.
+static BLOCKS_GRADED: Counter = Counter::new("atpg.blocks_graded");
+/// Packed evaluations that reused a block's cached good-machine response
+/// (every evaluation after the block's first).
+static GOOD_SIM_CACHE_HITS: Counter = Counter::new("atpg.good_sim_cache_hits");
+/// Faults detected with grading work still pending — the work the drop
+/// skipped.
+static FAULTS_DROPPED: Counter = Counter::new("atpg.faults_dropped");
+
+/// One packed block of fully-specified tests with its cached
+/// good-machine responses for both frames.
+struct GoodBlock {
+    /// Packed launch frames.
+    frame1: PatternBlock,
+    /// Packed capture frames.
+    frame2: PatternBlock,
+    /// Good-machine net words under the launch frames.
+    g1: Vec<u64>,
+    /// Good-machine net words under the capture frames.
+    g2: Vec<u64>,
+    /// Valid-lane mask.
+    mask: u64,
+    /// Lane → original test index.
+    tests: Vec<usize>,
+    /// Whether any fault has been graded against this block yet (first
+    /// evaluation pays for the good sims conceptually; the rest are
+    /// cache hits).
+    touched: AtomicBool,
+}
+
+/// Per-worker scratch arena: every buffer the packed inner loop needs,
+/// reused across faults and blocks so steady-state grading performs no
+/// heap allocation.
+#[derive(Debug, Default)]
+pub struct PpsfpScratch {
+    /// Faulty-machine net words (one per net).
+    words: Vec<u64>,
+    /// Packed gate-input working space.
+    gates: Vec<u64>,
+    /// Frame-1 gate-input values of one lane.
+    v1: Vec<bool>,
+    /// Frame-2 gate-input values of one lane.
+    v2: Vec<bool>,
+}
+
+/// How a fault is evaluated against a packed block, precomputed once per
+/// fault. Everything test-independent about the scalar decision ladder
+/// (stuck-stage degeneration, slack gating, cell/transistor resolution)
+/// is folded in here.
+enum FaultPlan<'c> {
+    /// Test-independent reasons make the fault undetectable (slack-gated
+    /// delay, pin without a transistor in the relevant network).
+    Never,
+    /// Forced-value stuck-at on a net: `word` is the packed stuck value.
+    StuckAt { net: NetId, word: u64 },
+    /// Transition fault: launch check at the net, then held-value
+    /// propagation.
+    Transition { net: NetId, rise: bool },
+    /// OBD/EM fault in the delay regime: per-lane excitation on the gate
+    /// inputs, then held-value propagation of the output.
+    Excited {
+        gate: GateId,
+        out: NetId,
+        cell: &'c Cell,
+        transistor: CellTransistor,
+        em: bool,
+    },
+}
+
+/// A prepared bit-parallel grading engine over one simulator and one
+/// test set.
+pub struct PpsfpEngine<'a, 's> {
+    sim: &'s FaultSimulator<'a>,
+    tests: &'s [TwoPatternTest],
+    blocks: Vec<GoodBlock>,
+    /// Original indices of X-bearing tests graded via the scalar path.
+    scalar_tests: Vec<usize>,
+    /// Cells by (kind, arity), with their leaf lists resolved once so
+    /// fault planning is allocation-free (`SpNet::leaves` allocates).
+    cells: Vec<CellEntry>,
+}
+
+/// A cached cell with its transistor leaf lists (pin per leaf, in
+/// [`obd_cmos::SpNet::leaves`] order).
+struct CellEntry {
+    key: (GateKind, usize),
+    cell: Cell,
+    pulldown_leaves: Vec<usize>,
+    pullup_leaves: Vec<usize>,
+}
+
+impl CellEntry {
+    /// The transistor at (pin, polarity), or `None` when the pin has no
+    /// leaf in the relevant network — the allocation-free equivalent of
+    /// [`obd_core::faultmodel::ObdFault::cell_transistor`].
+    fn transistor(&self, pin: usize, polarity: Polarity) -> Option<CellTransistor> {
+        let side = polarity.side();
+        let leaves = match side {
+            NetworkSide::Pulldown => &self.pulldown_leaves,
+            NetworkSide::Pullup => &self.pullup_leaves,
+        };
+        let leaf = leaves.iter().position(|&p| p == pin)?;
+        Some(CellTransistor { side, leaf })
+    }
+}
+
+impl<'a, 's> PpsfpEngine<'a, 's> {
+    /// Packs the test set and computes the good-machine responses once
+    /// per 64-test block.
+    ///
+    /// # Errors
+    ///
+    /// [`AtpgError::VectorWidth`] on malformed tests.
+    pub fn prepare(
+        sim: &'s FaultSimulator<'a>,
+        tests: &'s [TwoPatternTest],
+    ) -> Result<Self, AtpgError> {
+        let width = sim.nl.inputs().len();
+        for t in tests {
+            for frame in [&t.v1, &t.v2] {
+                if frame.len() != width {
+                    return Err(AtpgError::VectorWidth {
+                        expected: width,
+                        found: frame.len(),
+                    });
+                }
+            }
+        }
+        let mut packed_idx = Vec::new();
+        let mut scalar_tests = Vec::new();
+        for (i, t) in tests.iter().enumerate() {
+            if t.v1.iter().chain(t.v2.iter()).all(|v| v.is_known()) {
+                packed_idx.push(i);
+            } else {
+                scalar_tests.push(i);
+            }
+        }
+        let mut blocks = Vec::with_capacity(packed_idx.len().div_ceil(64));
+        let mut slices: Vec<&[Lv]> = Vec::with_capacity(64);
+        for chunk in packed_idx.chunks(64) {
+            slices.clear();
+            slices.extend(chunk.iter().map(|&i| tests[i].v1.as_slice()));
+            let frame1 = PatternBlock::pack_slices(&slices)?;
+            slices.clear();
+            slices.extend(chunk.iter().map(|&i| tests[i].v2.as_slice()));
+            let frame2 = PatternBlock::pack_slices(&slices)?;
+            let g1 = simulate_block_with_order(sim.nl, &sim.order, &frame1)?.into_words();
+            let g2 = simulate_block_with_order(sim.nl, &sim.order, &frame2)?.into_words();
+            blocks.push(GoodBlock {
+                mask: frame1.mask(),
+                frame1,
+                frame2,
+                g1,
+                g2,
+                tests: chunk.to_vec(),
+                touched: AtomicBool::new(false),
+            });
+        }
+        let mut cells: Vec<CellEntry> = Vec::new();
+        for g in sim.nl.gate_ids() {
+            let gate = sim.nl.gate(g);
+            let key = (gate.kind, gate.inputs.len());
+            if cells.iter().any(|c| c.key == key) {
+                continue;
+            }
+            if let Some(cell) = obd_core::faultmodel::cell_for_kind(gate.kind, gate.inputs.len()) {
+                cells.push(CellEntry {
+                    key,
+                    pulldown_leaves: cell.pulldown.leaves(),
+                    pullup_leaves: cell.pullup.leaves(),
+                    cell,
+                });
+            }
+        }
+        Ok(PpsfpEngine {
+            sim,
+            tests,
+            blocks,
+            scalar_tests,
+            cells,
+        })
+    }
+
+    /// Number of tests in the set.
+    pub fn num_tests(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Number of packed 64-test blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of X-bearing tests graded via the scalar fallback.
+    pub fn scalar_fallback_tests(&self) -> usize {
+        self.scalar_tests.len()
+    }
+
+    fn cell(&self, kind: GateKind, arity: usize) -> Option<&CellEntry> {
+        self.cells.iter().find(|c| c.key == (kind, arity))
+    }
+
+    /// Folds the test-independent part of the scalar decision ladder
+    /// into a per-fault plan.
+    fn plan(&self, fault: &Fault) -> Result<FaultPlan<'_>, AtpgError> {
+        match fault {
+            Fault::StuckAt { net, value } => Ok(FaultPlan::StuckAt {
+                net: *net,
+                word: if *value { !0 } else { 0 },
+            }),
+            Fault::Transition { net, slow_to } => Ok(FaultPlan::Transition {
+                net: *net,
+                rise: *slow_to == SlowTo::Rise,
+            }),
+            Fault::Obd(f) => {
+                let gate = self.sim.nl.gate(f.gate);
+                let entry = self.cell(gate.kind, gate.inputs.len()).ok_or_else(|| {
+                    AtpgError::UnsupportedGate {
+                        gate: gate.name.clone(),
+                    }
+                })?;
+                // Stuck stages degenerate into an output stuck-at.
+                if self.sim.table.is_stuck(f.polarity, f.stage) {
+                    let value = stuck_output_value(gate.kind, f.polarity);
+                    return Ok(FaultPlan::StuckAt {
+                        net: gate.output,
+                        word: if value { !0 } else { 0 },
+                    });
+                }
+                // Delay regime: the extra delay must beat the slack.
+                match self.sim.table.extra_delay_ps(f.polarity, f.stage) {
+                    Some(d) if d > self.sim.slack_for(f.gate) => {}
+                    _ => return Ok(FaultPlan::Never),
+                }
+                let Some(transistor) = entry.transistor(f.pin, f.polarity) else {
+                    return Ok(FaultPlan::Never);
+                };
+                Ok(FaultPlan::Excited {
+                    gate: f.gate,
+                    out: gate.output,
+                    cell: &entry.cell,
+                    transistor,
+                    em: false,
+                })
+            }
+            Fault::Em {
+                gate,
+                pin,
+                polarity,
+            } => {
+                let g = self.sim.nl.gate(*gate);
+                let entry = self.cell(g.kind, g.inputs.len()).ok_or_else(|| {
+                    AtpgError::UnsupportedGate {
+                        gate: g.name.clone(),
+                    }
+                })?;
+                let Some(transistor) = entry.transistor(*pin, *polarity) else {
+                    return Ok(FaultPlan::Never);
+                };
+                Ok(FaultPlan::Excited {
+                    gate: *gate,
+                    out: g.output,
+                    cell: &entry.cell,
+                    transistor,
+                    em: true,
+                })
+            }
+        }
+    }
+
+    /// XOR/OR reduction over the packed primary-output words.
+    fn po_diff(&self, good: &[u64], faulty: &[u64]) -> u64 {
+        let mut d = 0u64;
+        for &po in self.sim.nl.outputs() {
+            d |= good[po.index()] ^ faulty[po.index()];
+        }
+        d
+    }
+
+    /// Frame-2 propagation of a held value: force `net` to its packed
+    /// frame-1 word and diff the POs against the cached good response.
+    fn held_value_diff(
+        &self,
+        blk: &GoodBlock,
+        net: NetId,
+        held: u64,
+        scratch: &mut PpsfpScratch,
+    ) -> Result<u64, AtpgError> {
+        simulate_block_forced_into(
+            self.sim.nl,
+            &self.sim.order,
+            &blk.frame2,
+            &[(net, held)],
+            &mut scratch.words,
+            &mut scratch.gates,
+        )?;
+        Ok(self.po_diff(&blk.g2, &scratch.words) & blk.mask)
+    }
+
+    /// Detection mask of a fault over one block: bit `k` set iff lane
+    /// `k`'s test detects the fault.
+    fn detect_mask(
+        &self,
+        plan: &FaultPlan<'_>,
+        blk: &GoodBlock,
+        scratch: &mut PpsfpScratch,
+    ) -> Result<u64, AtpgError> {
+        match *plan {
+            FaultPlan::Never => Ok(0),
+            FaultPlan::StuckAt { net, word } => {
+                let mut det = 0u64;
+                for (frame, good) in [(&blk.frame1, &blk.g1), (&blk.frame2, &blk.g2)] {
+                    simulate_block_forced_into(
+                        self.sim.nl,
+                        &self.sim.order,
+                        frame,
+                        &[(net, word)],
+                        &mut scratch.words,
+                        &mut scratch.gates,
+                    )?;
+                    det |= self.po_diff(good, &scratch.words);
+                }
+                Ok(det & blk.mask)
+            }
+            FaultPlan::Transition { net, rise } => {
+                let (w1, w2) = (blk.g1[net.index()], blk.g2[net.index()]);
+                let launched = if rise { !w1 & w2 } else { w1 & !w2 } & blk.mask;
+                if launched == 0 {
+                    return Ok(0);
+                }
+                Ok(self.held_value_diff(blk, net, w1, scratch)? & launched)
+            }
+            FaultPlan::Excited {
+                gate,
+                out,
+                cell,
+                transistor,
+                em,
+            } => {
+                let (w1, w2) = (blk.g1[out.index()], blk.g2[out.index()]);
+                // Lanes without an output transition can neither be
+                // excited nor corrupt the capture (the held value equals
+                // the good value), so they filter out up front.
+                let mut candidate = (w1 ^ w2) & blk.mask;
+                if candidate == 0 {
+                    return Ok(0);
+                }
+                let pins = &self.sim.nl.gate(gate).inputs;
+                let mut excited = 0u64;
+                while candidate != 0 {
+                    let k = candidate.trailing_zeros() as usize;
+                    candidate &= candidate - 1;
+                    scratch.v1.clear();
+                    scratch.v2.clear();
+                    for &p in pins {
+                        scratch.v1.push((blk.g1[p.index()] >> k) & 1 == 1);
+                        scratch.v2.push((blk.g2[p.index()] >> k) & 1 == 1);
+                    }
+                    let hit = if em {
+                        em_excites(cell, transistor, &scratch.v1, &scratch.v2)
+                    } else {
+                        excites(cell, transistor, &scratch.v1, &scratch.v2)
+                    };
+                    if hit {
+                        excited |= 1u64 << k;
+                    }
+                }
+                if excited == 0 {
+                    return Ok(0);
+                }
+                Ok(self.held_value_diff(blk, out, w1, scratch)? & excited)
+            }
+        }
+    }
+
+    /// Counts the block against the grading metrics and reports whether
+    /// its good response was already cached by an earlier fault.
+    fn touch(blk: &GoodBlock) {
+        BLOCKS_GRADED.inc();
+        if blk.touched.swap(true, Ordering::Relaxed) {
+            GOOD_SIM_CACHE_HITS.inc();
+        }
+    }
+
+    /// Whether any test detects the fault, dropping the fault at its
+    /// first detection (remaining blocks/tests are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and scalar-fallback detection errors.
+    pub fn grade_one(&self, fault: &Fault, scratch: &mut PpsfpScratch) -> Result<bool, AtpgError> {
+        let total = self.blocks.len() + self.scalar_tests.len();
+        if total == 0 {
+            return Ok(false);
+        }
+        let plan = self.plan(fault)?;
+        let mut done = 0usize;
+        for blk in &self.blocks {
+            Self::touch(blk);
+            done += 1;
+            if self.detect_mask(&plan, blk, scratch)? != 0 {
+                if done < total {
+                    FAULTS_DROPPED.inc();
+                }
+                return Ok(true);
+            }
+        }
+        for &i in &self.scalar_tests {
+            done += 1;
+            if self.sim.detects(fault, &self.tests[i])? {
+                if done < total {
+                    FAULTS_DROPPED.inc();
+                }
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Per-test detection flags for one fault (no dropping), in test
+    /// order — the engine-side primitive behind detection matrices and
+    /// BIST response modeling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and scalar-fallback detection errors.
+    pub fn detection_row(
+        &self,
+        fault: &Fault,
+        scratch: &mut PpsfpScratch,
+    ) -> Result<Vec<bool>, AtpgError> {
+        let mut row = vec![false; self.tests.len()];
+        if self.tests.is_empty() {
+            return Ok(row);
+        }
+        let plan = self.plan(fault)?;
+        for blk in &self.blocks {
+            Self::touch(blk);
+            let mut m = self.detect_mask(&plan, blk, scratch)?;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                row[blk.tests[k]] = true;
+            }
+        }
+        for &i in &self.scalar_tests {
+            row[i] = self.sim.detects(fault, &self.tests[i])?;
+        }
+        Ok(row)
+    }
+
+    /// Grades the fault list serially (fault-major, with dropping).
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection errors.
+    pub fn grade(&self, faults: &[Fault]) -> Result<Vec<bool>, AtpgError> {
+        let mut scratch = PpsfpScratch::default();
+        faults
+            .iter()
+            .map(|f| self.grade_one(f, &mut scratch))
+            .collect()
+    }
+
+    /// Work-stealing parallel grading: workers pull fault indices from a
+    /// shared atomic counter (so shards stay load-balanced under
+    /// dropping) and publish detections into a shared bitmap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first detection error observed by any worker;
+    /// worker panics surface as [`AtpgError::Internal`].
+    pub fn grade_parallel(&self, faults: &[Fault], threads: usize) -> Result<Vec<bool>, AtpgError> {
+        let threads = threads.max(1).min(faults.len().max(1));
+        if threads <= 1 {
+            return self.grade(faults);
+        }
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let detected: Vec<AtomicU64> = (0..faults.len().div_ceil(64))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let first_error: Mutex<Option<AtpgError>> = Mutex::new(None);
+        let panicked = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| {
+                    let mut scratch = PpsfpScratch::default();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= faults.len() {
+                            break;
+                        }
+                        match self.grade_one(&faults[i], &mut scratch) {
+                            Ok(true) => {
+                                detected[i / 64].fetch_or(1u64 << (i % 64), Ordering::Relaxed);
+                            }
+                            Ok(false) => {}
+                            Err(e) => {
+                                let mut slot =
+                                    first_error.lock().unwrap_or_else(PoisonError::into_inner);
+                                slot.get_or_insert(e);
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }));
+            }
+            handles.into_iter().any(|h| h.join().is_err())
+        });
+        if panicked {
+            return Err(AtpgError::Internal("fault-grading worker panicked".into()));
+        }
+        if let Some(e) = first_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            return Err(e);
+        }
+        Ok((0..faults.len())
+            .map(|i| detected[i / 64].load(Ordering::Relaxed) >> (i % 64) & 1 == 1)
+            .collect())
+    }
+
+    /// Gracefully degraded grading with dropping: a fault whose
+    /// evaluation errors out (or for which `inject` fires) becomes
+    /// [`GradeOutcome::Degraded`] and stops consuming tests; the
+    /// campaign continues.
+    pub fn grade_degraded(&self, faults: &[Fault], inject: &dyn Fn() -> bool) -> Vec<GradeOutcome> {
+        let mut scratch = PpsfpScratch::default();
+        faults
+            .iter()
+            .map(|f| self.grade_one_degraded(f, &mut scratch, inject))
+            .collect()
+    }
+
+    fn grade_one_degraded(
+        &self,
+        fault: &Fault,
+        scratch: &mut PpsfpScratch,
+        inject: &dyn Fn() -> bool,
+    ) -> GradeOutcome {
+        if self.blocks.is_empty() && self.scalar_tests.is_empty() {
+            return GradeOutcome::Undetected;
+        }
+        let plan = match self.plan(fault) {
+            Ok(p) => p,
+            Err(e) => return GradeOutcome::Degraded(e.to_string()),
+        };
+        let chaos = || {
+            GradeOutcome::Degraded(
+                AtpgError::Internal("injected grading failure (chaos)".into()).to_string(),
+            )
+        };
+        for blk in &self.blocks {
+            if inject() {
+                return chaos();
+            }
+            Self::touch(blk);
+            match self.detect_mask(&plan, blk, scratch) {
+                Ok(0) => {}
+                Ok(_) => return GradeOutcome::Detected,
+                Err(e) => return GradeOutcome::Degraded(e.to_string()),
+            }
+        }
+        for &i in &self.scalar_tests {
+            if inject() {
+                return chaos();
+            }
+            match self.sim.detects(fault, &self.tests[i]) {
+                Ok(true) => return GradeOutcome::Detected,
+                Ok(false) => {}
+                Err(e) => return GradeOutcome::Degraded(e.to_string()),
+            }
+        }
+        GradeOutcome::Undetected
+    }
+}

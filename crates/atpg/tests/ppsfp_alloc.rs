@@ -1,0 +1,126 @@
+//! Proves the packed grading inner loop is allocation-free in steady
+//! state: once an engine and a scratch arena are warm, grading any
+//! number of faults against the packed blocks must not touch the heap.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use obd_atpg::fault::{em_faults, obd_faults, stuck_at_faults, transition_faults, Fault};
+use obd_atpg::faultsim::FaultSimulator;
+use obd_atpg::ppsfp::{PpsfpEngine, PpsfpScratch};
+use obd_atpg::random::random_two_pattern;
+use obd_core::BreakdownStage;
+use obd_logic::circuits::c17;
+use obd_logic::netlist::Netlist;
+
+/// Counts heap operations while `COUNTING` is set; otherwise defers
+/// straight to the system allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// The allocation-counting window and the global metrics switch are both
+/// process-wide, so tests in this binary must not overlap.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn mixed_faults(nl: &Netlist) -> Vec<Fault> {
+    let mut faults = stuck_at_faults(nl);
+    faults.extend(transition_faults(nl));
+    faults.extend(obd_faults(nl, BreakdownStage::Mbd2, false));
+    faults.extend(obd_faults(nl, BreakdownStage::Hbd, false));
+    faults.extend(em_faults(nl, false));
+    faults
+}
+
+/// With metrics disabled (branch-only counters), a warm engine grades
+/// every fault model without a single heap operation.
+#[test]
+fn warm_packed_grading_does_not_allocate() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    obd_metrics::disable();
+
+    let nl = c17();
+    let sim = FaultSimulator::new(&nl).unwrap();
+    let faults = mixed_faults(&nl);
+    let tests = random_two_pattern(nl.inputs().len(), 256, 0xFEED);
+    let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
+    assert_eq!(engine.num_blocks(), 4);
+    assert_eq!(engine.scalar_fallback_tests(), 0);
+
+    // Warm-up: one full pass sizes every scratch buffer.
+    let mut scratch = PpsfpScratch::default();
+    for f in &faults {
+        engine.grade_one(f, &mut scratch).unwrap();
+    }
+
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for f in &faults {
+        engine.grade_one(f, &mut scratch).unwrap();
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let calls = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        calls,
+        0,
+        "steady-state packed grading performed {calls} heap allocations over {} faults",
+        faults.len()
+    );
+    obd_metrics::enable();
+}
+
+/// Contrast run proving the counters really sit on the counted path: the
+/// same loop with metrics enabled moves `atpg.blocks_graded` and
+/// `atpg.good_sim_cache_hits` (so the zero-allocation claim above is not
+/// measuring a dead path).
+#[test]
+fn enabled_metrics_sit_on_the_graded_path() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    obd_metrics::enable();
+
+    let nl = c17();
+    let sim = FaultSimulator::new(&nl).unwrap();
+    let faults = mixed_faults(&nl);
+    let tests = random_two_pattern(nl.inputs().len(), 128, 0xBEEF);
+    let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
+
+    let before = obd_metrics::snapshot();
+    let mut scratch = PpsfpScratch::default();
+    for f in &faults {
+        engine.grade_one(f, &mut scratch).unwrap();
+    }
+    let after = obd_metrics::snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert!(delta("atpg.blocks_graded") > 0);
+    assert!(delta("atpg.good_sim_cache_hits") > 0);
+    assert!(
+        delta("atpg.faults_dropped") > 0,
+        "c17 drops detected faults"
+    );
+}

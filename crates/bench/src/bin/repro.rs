@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper as text/CSV artifacts.
 //!
 //! ```text
-//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench]
+//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg]
 //! ```
 //!
 //! Artifacts are written to `results/` in the current directory; a summary
@@ -11,8 +11,9 @@ use std::fs;
 use std::path::Path;
 
 use obd_bench::experiments::{
-    bist_eval, chaos, clock_sweep, em_contrast, excitation, fig4, fig9, iddq, metrics_run, scaling,
-    scan_eval, spice_bench, stats, table1, tpg_compare, variation, waveforms, window,
+    atpg_bench, bist_eval, chaos, clock_sweep, em_contrast, excitation, fig4, fig9, iddq,
+    metrics_run, scaling, scan_eval, spice_bench, stats, table1, tpg_compare, variation, waveforms,
+    window,
 };
 use obd_cmos::TechParams;
 use obd_core::characterize::{BenchConfig, DelayTable};
@@ -306,6 +307,17 @@ fn run_spice_bench(tech: &TechParams) {
     }
 }
 
+fn run_atpg_bench() {
+    println!("== Perf: PPSFP fault-grading throughput (BENCH_atpg.json) ==");
+    match atpg_bench::run() {
+        Ok(r) => {
+            println!("{}", atpg_bench::render(&r));
+            save("BENCH_atpg.json", &atpg_bench::to_json(&r));
+        }
+        Err(e) => eprintln!("  error: {e}"),
+    }
+}
+
 fn run_chaos() {
     println!("== Robustness: seeded fault-injection campaign (CHAOS_run.json) ==");
     let seed = std::env::var("OBD_CHAOS_SEED")
@@ -401,6 +413,9 @@ fn main() {
     if all || arg == "bench" {
         run_spice_bench(&tech);
     }
+    if all || arg == "bench-atpg" {
+        run_atpg_bench();
+    }
     // Chaos deliberately stays out of `all`: it arms process-global fault
     // injection, which must not contaminate the paper artifacts.
     if arg == "chaos" {
@@ -425,12 +440,13 @@ fn main() {
             "scan",
             "variation",
             "bench",
+            "bench-atpg",
             "chaos",
         ]
         .contains(&arg.as_str())
     {
         eprintln!(
-            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, chaos"
+            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, chaos"
         );
         std::process::exit(2);
     }

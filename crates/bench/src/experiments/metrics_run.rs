@@ -94,6 +94,9 @@ pub fn render(r: &MetricsRunReport) -> String {
         "atpg.podem_runs",
         "atpg.podem_backtracks",
         "atpg.faults_graded",
+        "atpg.blocks_graded",
+        "atpg.good_sim_cache_hits",
+        "atpg.faults_dropped",
     ];
     for name in key_counters {
         let v = r.snapshot.counter(name).unwrap_or(0);

@@ -1,5 +1,6 @@
 //! Experiment implementations, one per paper artifact.
 
+pub mod atpg_bench;
 pub mod bist_eval;
 pub mod chaos;
 pub mod clock_sweep;

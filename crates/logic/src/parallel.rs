@@ -13,6 +13,8 @@ use obd_metrics::Counter;
 static BLOCKS_SIMULATED: Counter = Counter::new("logic.blocks_simulated");
 /// Individual patterns simulated via packed blocks.
 static PATTERNS_SIMULATED: Counter = Counter::new("logic.patterns_simulated");
+/// Packed blocks simulated with forced (held) net values.
+static FORCED_BLOCKS_SIMULATED: Counter = Counter::new("logic.forced_blocks_simulated");
 
 /// A block of up to 64 fully-specified input patterns.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +49,40 @@ impl PatternBlock {
             });
         }
         Ok(Self::pack_unchecked(vectors))
+    }
+
+    /// [`PatternBlock::pack`] over borrowed vector slices, so callers
+    /// packing a projection of a larger structure (e.g. the launch frames
+    /// of a two-pattern test set) need not copy each vector first.
+    ///
+    /// # Errors
+    ///
+    /// Same shape checks as [`PatternBlock::pack`].
+    pub fn pack_slices(vectors: &[&[Lv]]) -> Result<Self, LogicError> {
+        if vectors.len() > 64 {
+            return Err(LogicError::PatternBlockTooLarge {
+                found: vectors.len(),
+            });
+        }
+        let n_inputs = vectors.first().map_or(0, |v| v.len());
+        if let Some(v) = vectors.iter().find(|v| v.len() != n_inputs) {
+            return Err(LogicError::InputCountMismatch {
+                expected: n_inputs,
+                found: v.len(),
+            });
+        }
+        let mut words = vec![0u64; n_inputs];
+        for (k, v) in vectors.iter().enumerate() {
+            for (i, &lv) in v.iter().enumerate() {
+                if lv == Lv::One {
+                    words[i] |= 1 << k;
+                }
+            }
+        }
+        Ok(PatternBlock {
+            words,
+            count: vectors.len(),
+        })
     }
 
     /// [`PatternBlock::pack`] without the shape checks, for hot paths whose
@@ -118,6 +154,17 @@ impl ParallelResult {
     pub fn mask(&self) -> u64 {
         self.mask
     }
+
+    /// All packed net words, indexed by [`NetId::index`].
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Consumes the result, returning the packed net words — used by
+    /// response caches that only need the raw words.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
 }
 
 /// Simulates a pattern block through the netlist.
@@ -165,6 +212,57 @@ pub fn simulate_block_with_order(
         words,
         mask: block.mask(),
     })
+}
+
+/// [`simulate_block_with_order`] with *forced* (held) net values, writing
+/// into caller-owned buffers so repeated calls are allocation-free once
+/// the buffers are warm.
+///
+/// Every net in `forced` keeps its packed word: primary inputs are
+/// overridden after the block is loaded, and the gate driving a forced
+/// net is skipped — the packed analogue of the scalar fault simulator's
+/// forced-value evaluation, evaluating a held fault effect for all
+/// patterns of the block in one sweep.
+///
+/// `words` receives one packed word per net; `scratch` is gate-input
+/// working space. Both are cleared and reused.
+///
+/// # Errors
+///
+/// [`LogicError::InputCountMismatch`] on wrong block width.
+pub fn simulate_block_forced_into(
+    nl: &Netlist,
+    order: &[GateId],
+    block: &PatternBlock,
+    forced: &[(NetId, u64)],
+    words: &mut Vec<u64>,
+    scratch: &mut Vec<u64>,
+) -> Result<(), LogicError> {
+    if block.words.len() != nl.inputs().len() {
+        return Err(LogicError::InputCountMismatch {
+            expected: nl.inputs().len(),
+            found: block.words.len(),
+        });
+    }
+    FORCED_BLOCKS_SIMULATED.inc();
+    words.clear();
+    words.resize(nl.num_nets(), 0);
+    for (i, &n) in nl.inputs().iter().enumerate() {
+        words[n.index()] = block.word(i);
+    }
+    for &(n, w) in forced {
+        words[n.index()] = w;
+    }
+    for &g in order {
+        let gate = nl.gate(g);
+        if forced.iter().any(|&(n, _)| n == gate.output) {
+            continue; // forced nets keep their value
+        }
+        scratch.clear();
+        scratch.extend(gate.inputs.iter().map(|n| words[n.index()]));
+        words[gate.output.index()] = gate.kind.eval_packed(scratch);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -259,6 +357,98 @@ mod tests {
         let block = PatternBlock::pack(&[]).unwrap();
         assert!(block.is_empty());
         assert_eq!(block.mask(), 0);
+    }
+
+    #[test]
+    fn pack_slices_matches_pack() {
+        let vectors: Vec<_> = all_vectors(3).collect();
+        let slices: Vec<&[Lv]> = vectors.iter().map(Vec::as_slice).collect();
+        let a = PatternBlock::pack(&vectors).unwrap();
+        let b = PatternBlock::pack_slices(&slices).unwrap();
+        assert_eq!(a.len(), b.len());
+        for i in 0..3 {
+            assert_eq!(a.word(i), b.word(i));
+        }
+        let ragged: Vec<&[Lv]> = vec![&vectors[0], &vectors[1][..2]];
+        assert!(matches!(
+            PatternBlock::pack_slices(&ragged),
+            Err(LogicError::InputCountMismatch { .. })
+        ));
+    }
+
+    /// Forcing a net to a per-pattern word must behave, per bit lane,
+    /// exactly like the scalar forced simulation of that pattern.
+    #[test]
+    fn forced_block_matches_scalar_forced_per_lane() {
+        let nl = sample();
+        let order = nl.levelize().unwrap();
+        let vectors: Vec<_> = all_vectors(3).collect();
+        let block = PatternBlock::pack(&vectors).unwrap();
+        let n1 = nl.find_net("n1").unwrap();
+        let y = nl.find_net("y").unwrap();
+        // Force n1 to an arbitrary per-pattern word.
+        let forced_word = 0b1010_0110u64;
+        let mut words = Vec::new();
+        let mut scratch = Vec::new();
+        simulate_block_forced_into(
+            &nl,
+            &order,
+            &block,
+            &[(n1, forced_word)],
+            &mut words,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(words[n1.index()], forced_word, "forced net keeps its word");
+        for (k, v) in vectors.iter().enumerate() {
+            // Scalar: evaluate with n1 replaced by the forced bit.
+            let forced_bit = (forced_word >> k) & 1 == 1;
+            let mut vals = vec![Lv::X; nl.num_nets()];
+            for (i, &n) in nl.inputs().iter().enumerate() {
+                vals[n.index()] = v[i];
+            }
+            vals[n1.index()] = Lv::from_bool(forced_bit);
+            for &g in &order {
+                let gate = nl.gate(g);
+                if gate.output == n1 {
+                    continue;
+                }
+                let ins: Vec<Lv> = gate.inputs.iter().map(|n| vals[n.index()]).collect();
+                vals[gate.output.index()] = gate.kind.eval(&ins);
+            }
+            assert_eq!(
+                Lv::from_bool((words[y.index()] >> k) & 1 == 1),
+                vals[y.index()],
+                "pattern {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_block_checks_width() {
+        let nl = sample();
+        let order = nl.levelize().unwrap();
+        let block = PatternBlock::pack(&[vec![Lv::One]]).unwrap();
+        let mut words = Vec::new();
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            simulate_block_forced_into(&nl, &order, &block, &[], &mut words, &mut scratch),
+            Err(LogicError::InputCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forced_primary_input_overrides_block() {
+        let nl = sample();
+        let order = nl.levelize().unwrap();
+        let a = nl.inputs()[0];
+        let vectors: Vec<_> = all_vectors(3).collect();
+        let block = PatternBlock::pack(&vectors).unwrap();
+        let mut words = Vec::new();
+        let mut scratch = Vec::new();
+        simulate_block_forced_into(&nl, &order, &block, &[(a, !0)], &mut words, &mut scratch)
+            .unwrap();
+        assert_eq!(words[a.index()], !0, "forced PI overrides the packed block");
     }
 
     #[test]
