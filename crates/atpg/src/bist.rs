@@ -16,7 +16,7 @@ use obd_logic::value::Lv;
 
 use crate::fault::{Fault, TwoPatternTest};
 use crate::faultsim::FaultSimulator;
-use crate::ppsfp::{PpsfpEngine, PpsfpScratch};
+use crate::ppsfp::{PpsfpEngine, PpsfpScratch, SUPERLANE_WIDTH};
 use crate::AtpgError;
 
 /// Maximal-length feedback taps (Fibonacci form, 1-indexed bit
@@ -266,7 +266,7 @@ pub fn run_bist(
     let sim = FaultSimulator::new(nl)?;
     let fail_row = match fault {
         Some(f) => {
-            let engine = PpsfpEngine::prepare(&sim, tests)?;
+            let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, tests)?;
             let mut scratch = PpsfpScratch::default();
             Some(engine.detection_row(f, &mut scratch)?)
         }

@@ -21,10 +21,11 @@ use obd_core::em::em_excites;
 use obd_core::faultmodel::{cell_for_kind, ObdFault, Polarity};
 use obd_logic::netlist::{GateId, GateKind, NetId, Netlist};
 use obd_logic::sim::simulate_with_order;
+use obd_logic::soa::SoaNetlist;
 use obd_logic::value::Lv;
 
 use crate::fault::{DetectionCriterion, Fault, SlowTo, TwoPatternTest};
-use crate::ppsfp::{PpsfpEngine, PpsfpScratch};
+use crate::ppsfp::{PpsfpEngine, PpsfpScratch, SUPERLANE_WIDTH};
 use crate::AtpgError;
 use obd_chaos::InjectionPoint;
 use obd_metrics::Counter;
@@ -67,6 +68,9 @@ impl GradeOutcome {
 pub struct FaultSimulator<'a> {
     pub(crate) nl: &'a Netlist,
     pub(crate) order: Vec<GateId>,
+    /// The netlist compiled once into the flat levelized layout the
+    /// packed engines walk.
+    pub(crate) soa: SoaNetlist,
     pub(crate) table: DelayTable,
     criterion: DetectionCriterion,
     /// Per-gate at-speed slack (ps) from STA, replacing the global
@@ -96,9 +100,11 @@ impl<'a> FaultSimulator<'a> {
         criterion: DetectionCriterion,
     ) -> Result<Self, AtpgError> {
         let order = nl.levelize()?;
+        let soa = SoaNetlist::compile(nl)?;
         Ok(FaultSimulator {
             nl,
             order,
+            soa,
             table,
             criterion,
             gate_slack: None,
@@ -120,6 +126,7 @@ impl<'a> FaultSimulator<'a> {
         clock_ps: f64,
     ) -> Result<Self, AtpgError> {
         let order = nl.levelize()?;
+        let soa = SoaNetlist::compile(nl)?;
         let report = obd_logic::sta::analyze(nl, delays, clock_ps)?;
         let gate_slack = nl
             .gate_ids()
@@ -128,6 +135,7 @@ impl<'a> FaultSimulator<'a> {
         Ok(FaultSimulator {
             nl,
             order,
+            soa,
             table,
             criterion: DetectionCriterion::ideal(),
             gate_slack: Some(gate_slack),
@@ -356,7 +364,7 @@ impl<'a> FaultSimulator<'a> {
         if faults.is_empty() {
             return Ok(Vec::new());
         }
-        let engine = PpsfpEngine::prepare(self, tests)?;
+        let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(self, tests)?;
         let detected = engine.grade(faults)?;
         FAULTS_GRADED.add(faults.len() as u64);
         FAULTS_DETECTED.add(detected.iter().filter(|&&d| d).count() as u64);
@@ -394,7 +402,7 @@ impl<'a> FaultSimulator<'a> {
     /// accounted for in the returned vector. Detected *and* degraded
     /// faults drop immediately (stop consuming tests).
     pub fn grade_degraded(&self, faults: &[Fault], tests: &[TwoPatternTest]) -> Vec<GradeOutcome> {
-        let out = match PpsfpEngine::prepare(self, tests) {
+        let out = match PpsfpEngine::<SUPERLANE_WIDTH>::prepare(self, tests) {
             Ok(engine) => engine.grade_degraded(faults, &|| CHAOS_GRADE.fire()),
             // Malformed test sets degrade every fault, as each would hit
             // the same error at its first test in the scalar path.
@@ -423,7 +431,7 @@ impl<'a> FaultSimulator<'a> {
         if threads <= 1 {
             return self.grade(faults, tests);
         }
-        let engine = PpsfpEngine::prepare(self, tests)?;
+        let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare_with_threads(self, tests, threads)?;
         let out = engine.grade_parallel(faults, threads)?;
         FAULTS_GRADED.add(faults.len() as u64);
         FAULTS_DETECTED.add(out.iter().filter(|&&d| d).count() as u64);
@@ -457,7 +465,7 @@ impl<'a> FaultSimulator<'a> {
         faults: &[Fault],
         tests: &[TwoPatternTest],
     ) -> Result<Vec<Vec<bool>>, AtpgError> {
-        let engine = PpsfpEngine::prepare(self, tests)?;
+        let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(self, tests)?;
         let mut scratch = PpsfpScratch::default();
         let rows: Vec<Vec<bool>> = faults
             .iter()

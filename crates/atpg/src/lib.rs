@@ -82,4 +82,4 @@ pub mod twoframe;
 
 pub use error::AtpgError;
 pub use fault::{DetectionCriterion, Fault, TwoPatternTest};
-pub use ppsfp::{PpsfpEngine, PpsfpScratch};
+pub use ppsfp::{PpsfpEngine, PpsfpScratch, SUPERLANE_WIDTH};

@@ -1,11 +1,18 @@
-//! Bit-parallel PPSFP fault grading.
+//! Bit-parallel PPSFP fault grading over `[u64; N]` super-lanes.
 //!
-//! Parallel-pattern single-fault propagation: up to 64 two-pattern tests
-//! are packed into one [`PatternBlock`] per frame, the good-machine
+//! Parallel-pattern single-fault propagation: up to `64 * N` two-pattern
+//! tests are packed into one [`WideBlock`] per frame, the good-machine
 //! responses are computed **once per block** (not once per fault × test),
 //! and each fault's forced-value (held-output) propagation is evaluated
-//! for the whole block in a single packed sweep. Detection is then one
-//! XOR/OR reduction over the packed primary-output words.
+//! for the whole block in a single packed sweep over the levelized
+//! structure-of-arrays netlist ([`obd_logic::soa`]). Detection is then
+//! one XOR/OR reduction over the packed primary-output words.
+//!
+//! The engine is generic over the super-lane width `N`
+//! ([`SUPERLANE_WIDTH`] = 8 by default, i.e. 512 patterns per sweep):
+//! every word the hot loop touches is a `[u64; N]` whose elementwise
+//! AND/OR/XOR/popcount the compiler autovectorizes, amortizing the
+//! per-gate walk overhead across eight 64-pattern lanes.
 //!
 //! Bit-exactness vs the scalar path ([`FaultSimulator::detects`]): the
 //! packed simulator is two-valued (X packs as 0), so only *fully
@@ -18,8 +25,10 @@
 //! The engine also carries the campaign-level machinery the scalar loops
 //! lacked: fault dropping (a detected fault leaves the campaign
 //! immediately), a reusable per-worker [`PpsfpScratch`] arena so the
-//! inner loop is allocation-free, and work-stealing parallel grading
-//! over an atomic fault index with a shared detected bitmap.
+//! inner loop is allocation-free, work-stealing parallel grading over an
+//! atomic fault index, and good-response cache fills batched across
+//! worker threads ([`PpsfpEngine::prepare_with_threads`]) so a large
+//! test set does not serialize the warm-up.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -29,13 +38,16 @@ use obd_cmos::switch::{excites, CellTransistor, NetworkSide};
 use obd_core::em::em_excites;
 use obd_core::faultmodel::Polarity;
 use obd_logic::netlist::{GateId, GateKind, NetId};
-use obd_logic::parallel::{simulate_block_forced_into, simulate_block_with_order, PatternBlock};
 use obd_logic::value::Lv;
-use obd_metrics::Counter;
+use obd_logic::wide::{LaneWord, WideBlock};
+use obd_metrics::{Counter, Gauge};
 
 use crate::fault::{Fault, SlowTo, TwoPatternTest};
 use crate::faultsim::{stuck_output_value, FaultSimulator, GradeOutcome};
 use crate::AtpgError;
+
+/// Default super-lane width: eight 64-bit lanes, 512 patterns per block.
+pub const SUPERLANE_WIDTH: usize = 8;
 
 /// (fault, block) packed evaluations performed.
 static BLOCKS_GRADED: Counter = Counter::new("atpg.blocks_graded");
@@ -45,20 +57,23 @@ static GOOD_SIM_CACHE_HITS: Counter = Counter::new("atpg.good_sim_cache_hits");
 /// Faults detected with grading work still pending — the work the drop
 /// skipped.
 static FAULTS_DROPPED: Counter = Counter::new("atpg.faults_dropped");
+/// Super-lane width (64-bit lanes per packed word) of the most recently
+/// prepared engine.
+static SUPERLANE_WIDTH_GAUGE: Gauge = Gauge::new("atpg.superlane_width");
 
 /// One packed block of fully-specified tests with its cached
 /// good-machine responses for both frames.
-struct GoodBlock {
+struct GoodBlock<const N: usize> {
     /// Packed launch frames.
-    frame1: PatternBlock,
+    frame1: WideBlock<N>,
     /// Packed capture frames.
-    frame2: PatternBlock,
+    frame2: WideBlock<N>,
     /// Good-machine net words under the launch frames.
-    g1: Vec<u64>,
+    g1: Vec<LaneWord<N>>,
     /// Good-machine net words under the capture frames.
-    g2: Vec<u64>,
+    g2: Vec<LaneWord<N>>,
     /// Valid-lane mask.
-    mask: u64,
+    mask: LaneWord<N>,
     /// Lane → original test index.
     tests: Vec<usize>,
     /// Whether any fault has been graded against this block yet (first
@@ -70,28 +85,36 @@ struct GoodBlock {
 /// Per-worker scratch arena: every buffer the packed inner loop needs,
 /// reused across faults and blocks so steady-state grading performs no
 /// heap allocation.
-#[derive(Debug, Default)]
-pub struct PpsfpScratch {
+#[derive(Debug)]
+pub struct PpsfpScratch<const N: usize = SUPERLANE_WIDTH> {
     /// Faulty-machine net words (one per net).
-    words: Vec<u64>,
-    /// Packed gate-input working space.
-    gates: Vec<u64>,
+    words: Vec<LaneWord<N>>,
     /// Frame-1 gate-input values of one lane.
     v1: Vec<bool>,
     /// Frame-2 gate-input values of one lane.
     v2: Vec<bool>,
 }
 
+impl<const N: usize> Default for PpsfpScratch<N> {
+    fn default() -> Self {
+        PpsfpScratch {
+            words: Vec::new(),
+            v1: Vec::new(),
+            v2: Vec::new(),
+        }
+    }
+}
+
 /// How a fault is evaluated against a packed block, precomputed once per
 /// fault. Everything test-independent about the scalar decision ladder
 /// (stuck-stage degeneration, slack gating, cell/transistor resolution)
 /// is folded in here.
-enum FaultPlan<'c> {
+enum FaultPlan<'c, const N: usize> {
     /// Test-independent reasons make the fault undetectable (slack-gated
     /// delay, pin without a transistor in the relevant network).
     Never,
     /// Forced-value stuck-at on a net: `word` is the packed stuck value.
-    StuckAt { net: NetId, word: u64 },
+    StuckAt { net: NetId, word: LaneWord<N> },
     /// Transition fault: launch check at the net, then held-value
     /// propagation.
     Transition { net: NetId, rise: bool },
@@ -107,11 +130,11 @@ enum FaultPlan<'c> {
 }
 
 /// A prepared bit-parallel grading engine over one simulator and one
-/// test set.
-pub struct PpsfpEngine<'a, 's> {
+/// test set, `N` super-lanes (`64 * N` patterns) per packed block.
+pub struct PpsfpEngine<'a, 's, const N: usize = SUPERLANE_WIDTH> {
     sim: &'s FaultSimulator<'a>,
     tests: &'s [TwoPatternTest],
-    blocks: Vec<GoodBlock>,
+    blocks: Vec<GoodBlock<N>>,
     /// Original indices of X-bearing tests graded via the scalar path.
     scalar_tests: Vec<usize>,
     /// Cells by (kind, arity), with their leaf lists resolved once so
@@ -143,9 +166,9 @@ impl CellEntry {
     }
 }
 
-impl<'a, 's> PpsfpEngine<'a, 's> {
+impl<'a, 's, const N: usize> PpsfpEngine<'a, 's, N> {
     /// Packs the test set and computes the good-machine responses once
-    /// per 64-test block.
+    /// per `64 * N`-test block.
     ///
     /// # Errors
     ///
@@ -153,6 +176,22 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
     pub fn prepare(
         sim: &'s FaultSimulator<'a>,
         tests: &'s [TwoPatternTest],
+    ) -> Result<Self, AtpgError> {
+        Self::prepare_with_threads(sim, tests, 1)
+    }
+
+    /// [`PpsfpEngine::prepare`] with the good-response cache fills
+    /// batched across `threads` workers — on a large test set over a
+    /// large circuit the good sims dominate preparation, and each block
+    /// is independent.
+    ///
+    /// # Errors
+    ///
+    /// [`AtpgError::VectorWidth`] on malformed tests.
+    pub fn prepare_with_threads(
+        sim: &'s FaultSimulator<'a>,
+        tests: &'s [TwoPatternTest],
+        threads: usize,
     ) -> Result<Self, AtpgError> {
         let width = sim.nl.inputs().len();
         for t in tests {
@@ -165,6 +204,7 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
                 }
             }
         }
+        SUPERLANE_WIDTH_GAUGE.set(N as f64);
         let mut packed_idx = Vec::new();
         let mut scalar_tests = Vec::new();
         for (i, t) in tests.iter().enumerate() {
@@ -174,27 +214,27 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
                 scalar_tests.push(i);
             }
         }
-        let mut blocks = Vec::with_capacity(packed_idx.len().div_ceil(64));
-        let mut slices: Vec<&[Lv]> = Vec::with_capacity(64);
-        for chunk in packed_idx.chunks(64) {
+        let capacity = WideBlock::<N>::CAPACITY;
+        let mut blocks = Vec::with_capacity(packed_idx.len().div_ceil(capacity));
+        let mut slices: Vec<&[Lv]> = Vec::with_capacity(capacity);
+        for chunk in packed_idx.chunks(capacity) {
             slices.clear();
             slices.extend(chunk.iter().map(|&i| tests[i].v1.as_slice()));
-            let frame1 = PatternBlock::pack_slices(&slices)?;
+            let frame1 = WideBlock::pack_slices(&slices)?;
             slices.clear();
             slices.extend(chunk.iter().map(|&i| tests[i].v2.as_slice()));
-            let frame2 = PatternBlock::pack_slices(&slices)?;
-            let g1 = simulate_block_with_order(sim.nl, &sim.order, &frame1)?.into_words();
-            let g2 = simulate_block_with_order(sim.nl, &sim.order, &frame2)?.into_words();
+            let frame2 = WideBlock::pack_slices(&slices)?;
             blocks.push(GoodBlock {
                 mask: frame1.mask(),
                 frame1,
                 frame2,
-                g1,
-                g2,
+                g1: Vec::new(),
+                g2: Vec::new(),
                 tests: chunk.to_vec(),
                 touched: AtomicBool::new(false),
             });
         }
+        Self::fill_good_responses(sim, &mut blocks, threads)?;
         let mut cells: Vec<CellEntry> = Vec::new();
         for g in sim.nl.gate_ids() {
             let gate = sim.nl.gate(g);
@@ -220,12 +260,56 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
         })
     }
 
+    /// Simulates the good machine into every block's frame caches,
+    /// splitting the blocks across workers when asked for more than one.
+    fn fill_good_responses(
+        sim: &FaultSimulator<'a>,
+        blocks: &mut [GoodBlock<N>],
+        threads: usize,
+    ) -> Result<(), AtpgError> {
+        let fill = |blk: &mut GoodBlock<N>| -> Result<(), AtpgError> {
+            sim.soa.simulate_wide_into(&blk.frame1, &mut blk.g1)?;
+            sim.soa.simulate_wide_into(&blk.frame2, &mut blk.g2)?;
+            Ok(())
+        };
+        let threads = threads.max(1).min(blocks.len().max(1));
+        if threads <= 1 {
+            return blocks.iter_mut().try_for_each(fill);
+        }
+        let first_error: Mutex<Option<AtpgError>> = Mutex::new(None);
+        let per_worker = blocks.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for shard in blocks.chunks_mut(per_worker) {
+                let first_error = &first_error;
+                scope.spawn(move || {
+                    for blk in shard {
+                        if let Err(e) = fill(blk) {
+                            first_error
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .get_or_insert(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let taken = first_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        match taken {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Number of tests in the set.
     pub fn num_tests(&self) -> usize {
         self.tests.len()
     }
 
-    /// Number of packed 64-test blocks.
+    /// Number of packed `64 * N`-test blocks.
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
     }
@@ -241,11 +325,15 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
 
     /// Folds the test-independent part of the scalar decision ladder
     /// into a per-fault plan.
-    fn plan(&self, fault: &Fault) -> Result<FaultPlan<'_>, AtpgError> {
+    fn plan(&self, fault: &Fault) -> Result<FaultPlan<'_, N>, AtpgError> {
         match fault {
             Fault::StuckAt { net, value } => Ok(FaultPlan::StuckAt {
                 net: *net,
-                word: if *value { !0 } else { 0 },
+                word: if *value {
+                    LaneWord::ONES
+                } else {
+                    LaneWord::ZERO
+                },
             }),
             Fault::Transition { net, slow_to } => Ok(FaultPlan::Transition {
                 net: *net,
@@ -263,7 +351,11 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
                     let value = stuck_output_value(gate.kind, f.polarity);
                     return Ok(FaultPlan::StuckAt {
                         net: gate.output,
-                        word: if value { !0 } else { 0 },
+                        word: if value {
+                            LaneWord::ONES
+                        } else {
+                            LaneWord::ZERO
+                        },
                     });
                 }
                 // Delay regime: the extra delay must beat the slack.
@@ -308,10 +400,10 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
     }
 
     /// XOR/OR reduction over the packed primary-output words.
-    fn po_diff(&self, good: &[u64], faulty: &[u64]) -> u64 {
-        let mut d = 0u64;
-        for &po in self.sim.nl.outputs() {
-            d |= good[po.index()] ^ faulty[po.index()];
+    fn po_diff(&self, good: &[LaneWord<N>], faulty: &[LaneWord<N>]) -> LaneWord<N> {
+        let mut d = LaneWord::ZERO;
+        for &po in self.sim.soa.outputs() {
+            d |= good[po as usize] ^ faulty[po as usize];
         }
         d
     }
@@ -320,19 +412,14 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
     /// frame-1 word and diff the POs against the cached good response.
     fn held_value_diff(
         &self,
-        blk: &GoodBlock,
+        blk: &GoodBlock<N>,
         net: NetId,
-        held: u64,
-        scratch: &mut PpsfpScratch,
-    ) -> Result<u64, AtpgError> {
-        simulate_block_forced_into(
-            self.sim.nl,
-            &self.sim.order,
-            &blk.frame2,
-            &[(net, held)],
-            &mut scratch.words,
-            &mut scratch.gates,
-        )?;
+        held: LaneWord<N>,
+        scratch: &mut PpsfpScratch<N>,
+    ) -> Result<LaneWord<N>, AtpgError> {
+        self.sim
+            .soa
+            .simulate_wide_forced_into(&blk.frame2, &[(net, held)], &mut scratch.words)?;
         Ok(self.po_diff(&blk.g2, &scratch.words) & blk.mask)
     }
 
@@ -340,22 +427,19 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
     /// `k`'s test detects the fault.
     fn detect_mask(
         &self,
-        plan: &FaultPlan<'_>,
-        blk: &GoodBlock,
-        scratch: &mut PpsfpScratch,
-    ) -> Result<u64, AtpgError> {
+        plan: &FaultPlan<'_, N>,
+        blk: &GoodBlock<N>,
+        scratch: &mut PpsfpScratch<N>,
+    ) -> Result<LaneWord<N>, AtpgError> {
         match *plan {
-            FaultPlan::Never => Ok(0),
+            FaultPlan::Never => Ok(LaneWord::ZERO),
             FaultPlan::StuckAt { net, word } => {
-                let mut det = 0u64;
+                let mut det = LaneWord::ZERO;
                 for (frame, good) in [(&blk.frame1, &blk.g1), (&blk.frame2, &blk.g2)] {
-                    simulate_block_forced_into(
-                        self.sim.nl,
-                        &self.sim.order,
+                    self.sim.soa.simulate_wide_forced_into(
                         frame,
                         &[(net, word)],
                         &mut scratch.words,
-                        &mut scratch.gates,
                     )?;
                     det |= self.po_diff(good, &scratch.words);
                 }
@@ -364,8 +448,8 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
             FaultPlan::Transition { net, rise } => {
                 let (w1, w2) = (blk.g1[net.index()], blk.g2[net.index()]);
                 let launched = if rise { !w1 & w2 } else { w1 & !w2 } & blk.mask;
-                if launched == 0 {
-                    return Ok(0);
+                if launched.is_zero() {
+                    return Ok(LaneWord::ZERO);
                 }
                 Ok(self.held_value_diff(blk, net, w1, scratch)? & launched)
             }
@@ -380,32 +464,35 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
                 // Lanes without an output transition can neither be
                 // excited nor corrupt the capture (the held value equals
                 // the good value), so they filter out up front.
-                let mut candidate = (w1 ^ w2) & blk.mask;
-                if candidate == 0 {
-                    return Ok(0);
+                let candidate = (w1 ^ w2) & blk.mask;
+                if candidate.is_zero() {
+                    return Ok(LaneWord::ZERO);
                 }
                 let pins = &self.sim.nl.gate(gate).inputs;
-                let mut excited = 0u64;
-                while candidate != 0 {
-                    let k = candidate.trailing_zeros() as usize;
-                    candidate &= candidate - 1;
-                    scratch.v1.clear();
-                    scratch.v2.clear();
-                    for &p in pins {
-                        scratch.v1.push((blk.g1[p.index()] >> k) & 1 == 1);
-                        scratch.v2.push((blk.g2[p.index()] >> k) & 1 == 1);
-                    }
-                    let hit = if em {
-                        em_excites(cell, transistor, &scratch.v1, &scratch.v2)
-                    } else {
-                        excites(cell, transistor, &scratch.v1, &scratch.v2)
-                    };
-                    if hit {
-                        excited |= 1u64 << k;
+                let mut excited = LaneWord::ZERO;
+                for lane in 0..N {
+                    let mut c = candidate.lane(lane);
+                    while c != 0 {
+                        let k = lane * 64 + c.trailing_zeros() as usize;
+                        c &= c - 1;
+                        scratch.v1.clear();
+                        scratch.v2.clear();
+                        for &p in pins {
+                            scratch.v1.push(blk.g1[p.index()].bit(k));
+                            scratch.v2.push(blk.g2[p.index()].bit(k));
+                        }
+                        let hit = if em {
+                            em_excites(cell, transistor, &scratch.v1, &scratch.v2)
+                        } else {
+                            excites(cell, transistor, &scratch.v1, &scratch.v2)
+                        };
+                        if hit {
+                            excited.set_bit(k);
+                        }
                     }
                 }
-                if excited == 0 {
-                    return Ok(0);
+                if excited.is_zero() {
+                    return Ok(LaneWord::ZERO);
                 }
                 Ok(self.held_value_diff(blk, out, w1, scratch)? & excited)
             }
@@ -414,7 +501,7 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
 
     /// Counts the block against the grading metrics and reports whether
     /// its good response was already cached by an earlier fault.
-    fn touch(blk: &GoodBlock) {
+    fn touch(blk: &GoodBlock<N>) {
         BLOCKS_GRADED.inc();
         if blk.touched.swap(true, Ordering::Relaxed) {
             GOOD_SIM_CACHE_HITS.inc();
@@ -427,7 +514,11 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
     /// # Errors
     ///
     /// Propagates planning and scalar-fallback detection errors.
-    pub fn grade_one(&self, fault: &Fault, scratch: &mut PpsfpScratch) -> Result<bool, AtpgError> {
+    pub fn grade_one(
+        &self,
+        fault: &Fault,
+        scratch: &mut PpsfpScratch<N>,
+    ) -> Result<bool, AtpgError> {
         let total = self.blocks.len() + self.scalar_tests.len();
         if total == 0 {
             return Ok(false);
@@ -437,7 +528,7 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
         for blk in &self.blocks {
             Self::touch(blk);
             done += 1;
-            if self.detect_mask(&plan, blk, scratch)? != 0 {
+            if self.detect_mask(&plan, blk, scratch)?.any() {
                 if done < total {
                     FAULTS_DROPPED.inc();
                 }
@@ -466,7 +557,7 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
     pub fn detection_row(
         &self,
         fault: &Fault,
-        scratch: &mut PpsfpScratch,
+        scratch: &mut PpsfpScratch<N>,
     ) -> Result<Vec<bool>, AtpgError> {
         let mut row = vec![false; self.tests.len()];
         if self.tests.is_empty() {
@@ -475,10 +566,8 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
         let plan = self.plan(fault)?;
         for blk in &self.blocks {
             Self::touch(blk);
-            let mut m = self.detect_mask(&plan, blk, scratch)?;
-            while m != 0 {
-                let k = m.trailing_zeros() as usize;
-                m &= m - 1;
+            let m = self.detect_mask(&plan, blk, scratch)?;
+            for k in m.set_bits() {
                 row[blk.tests[k]] = true;
             }
         }
@@ -581,7 +670,7 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
     fn grade_one_degraded(
         &self,
         fault: &Fault,
-        scratch: &mut PpsfpScratch,
+        scratch: &mut PpsfpScratch<N>,
         inject: &dyn Fn() -> bool,
     ) -> GradeOutcome {
         if self.blocks.is_empty() && self.scalar_tests.is_empty() {
@@ -602,7 +691,7 @@ impl<'a, 's> PpsfpEngine<'a, 's> {
             }
             Self::touch(blk);
             match self.detect_mask(&plan, blk, scratch) {
-                Ok(0) => {}
+                Ok(m) if m.is_zero() => {}
                 Ok(_) => return GradeOutcome::Detected,
                 Err(e) => return GradeOutcome::Degraded(e.to_string()),
             }

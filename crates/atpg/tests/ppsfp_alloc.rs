@@ -8,7 +8,7 @@ use std::sync::Mutex;
 
 use obd_atpg::fault::{em_faults, obd_faults, stuck_at_faults, transition_faults, Fault};
 use obd_atpg::faultsim::FaultSimulator;
-use obd_atpg::ppsfp::{PpsfpEngine, PpsfpScratch};
+use obd_atpg::ppsfp::{PpsfpEngine, PpsfpScratch, SUPERLANE_WIDTH};
 use obd_atpg::random::random_two_pattern;
 use obd_core::BreakdownStage;
 use obd_logic::circuits::c17;
@@ -67,9 +67,11 @@ fn warm_packed_grading_does_not_allocate() {
     let nl = c17();
     let sim = FaultSimulator::new(&nl).unwrap();
     let faults = mixed_faults(&nl);
-    let tests = random_two_pattern(nl.inputs().len(), 256, 0xFEED);
-    let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
-    assert_eq!(engine.num_blocks(), 4);
+    let tests = random_two_pattern(nl.inputs().len(), 1024, 0xFEED);
+    let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, &tests).unwrap();
+    // 1024 tests at 512 patterns per super-lane block: the warm loop
+    // below really walks multiple blocks, not a single one.
+    assert_eq!(engine.num_blocks(), 1024 / (64 * SUPERLANE_WIDTH));
     assert_eq!(engine.scalar_fallback_tests(), 0);
 
     // Warm-up: one full pass sizes every scratch buffer.
@@ -107,8 +109,11 @@ fn enabled_metrics_sit_on_the_graded_path() {
     let nl = c17();
     let sim = FaultSimulator::new(&nl).unwrap();
     let faults = mixed_faults(&nl);
-    let tests = random_two_pattern(nl.inputs().len(), 128, 0xBEEF);
-    let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
+    // Two full super-lane blocks, so a detection in the first block
+    // still has a second block to skip and `faults_dropped` can move.
+    let tests = random_two_pattern(nl.inputs().len(), 1024, 0xBEEF);
+    let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, &tests).unwrap();
+    assert!(engine.num_blocks() > 1);
 
     let before = obd_metrics::snapshot();
     let mut scratch = PpsfpScratch::default();
@@ -122,5 +127,17 @@ fn enabled_metrics_sit_on_the_graded_path() {
     assert!(
         delta("atpg.faults_dropped") > 0,
         "c17 drops detected faults"
+    );
+    // OBD/EM faults force held values through the SoA core, so the wide
+    // simulator's gate counter moves during grading too.
+    assert!(delta("logic.soa_gates_simulated") > 0);
+    // The SoA compile and engine prepare published their gauges.
+    assert_eq!(
+        after.gauge("atpg.superlane_width"),
+        Some(SUPERLANE_WIDTH as f64)
+    );
+    assert!(
+        after.gauge("logic.levels").unwrap_or(0.0) > 0.0,
+        "c17 has depth"
     );
 }

@@ -11,7 +11,7 @@ use obd_atpg::fault::{
     em_faults, obd_faults, stuck_at_faults, transition_faults, Fault, TwoPatternTest,
 };
 use obd_atpg::faultsim::FaultSimulator;
-use obd_atpg::ppsfp::{PpsfpEngine, PpsfpScratch};
+use obd_atpg::ppsfp::{PpsfpEngine, PpsfpScratch, SUPERLANE_WIDTH};
 use obd_atpg::random::random_two_pattern;
 use obd_atpg::AtpgError;
 use obd_core::BreakdownStage;
@@ -48,14 +48,68 @@ fn packed_grade_matches_scalar_at_block_boundaries() {
         let faults = mixed_faults(&nl);
         for (seed, count) in [(11u64, 1usize), (12, 63), (13, 64), (14, 65), (15, 130)] {
             let tests = random_two_pattern(nl.inputs().len(), count, seed);
-            let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
-            assert_eq!(engine.num_blocks(), count.div_ceil(64), "{name}/{count}");
+            let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, &tests).unwrap();
+            assert_eq!(
+                engine.num_blocks(),
+                count.div_ceil(64 * SUPERLANE_WIDTH),
+                "{name}/{count}"
+            );
             assert_eq!(engine.scalar_fallback_tests(), 0, "{name}/{count}");
             let scalar = sim.grade_scalar(&faults, &tests).unwrap();
             let packed = sim.grade(&faults, &tests).unwrap();
             assert_eq!(packed, scalar, "{name} with {count} tests");
         }
     }
+}
+
+/// Generic width sweep: at every supported super-lane width the packed
+/// grader (serial and work-stealing parallel) is bit-exact with the
+/// scalar reference, and the block count honors the widened capacity.
+fn sweep_width<const N: usize>(counts: &[usize]) {
+    for (name, nl) in circuits() {
+        let sim = FaultSimulator::new(&nl).unwrap();
+        let faults = mixed_faults(&nl);
+        for (i, &count) in counts.iter().enumerate() {
+            let tests = random_two_pattern(nl.inputs().len(), count, 0x51EE + i as u64);
+            let engine = PpsfpEngine::<N>::prepare(&sim, &tests).unwrap();
+            assert_eq!(
+                engine.num_blocks(),
+                count.div_ceil(64 * N),
+                "{name}/{count}/N={N}"
+            );
+            assert_eq!(engine.scalar_fallback_tests(), 0, "{name}/{count}/N={N}");
+            let scalar = sim.grade_scalar(&faults, &tests).unwrap();
+            assert_eq!(
+                engine.grade(&faults).unwrap(),
+                scalar,
+                "{name}/{count}/N={N}"
+            );
+            assert_eq!(
+                engine.grade_parallel(&faults, 3).unwrap(),
+                scalar,
+                "{name}/{count}/N={N} parallel"
+            );
+        }
+    }
+}
+
+/// N=1 degenerates to the old single-`u64` engine; its boundaries sit
+/// at 63/64/65.
+#[test]
+fn width_1_matches_scalar_at_its_boundaries() {
+    sweep_width::<1>(&[1, 63, 64, 65, 130]);
+}
+
+/// N=4 blocks hold 256 patterns; straddle that boundary.
+#[test]
+fn width_4_matches_scalar_at_its_boundaries() {
+    sweep_width::<4>(&[1, 255, 256, 257]);
+}
+
+/// N=8 (the default) blocks hold 512 patterns; straddle that boundary.
+#[test]
+fn width_8_matches_scalar_at_its_boundaries() {
+    sweep_width::<8>(&[1, 511, 512, 513]);
 }
 
 /// Satellite: `grade`, `grade_scalar` and `grade_parallel` all agree —
@@ -96,12 +150,21 @@ fn x_bearing_tests_fall_back_to_scalar_path() {
             _ => {}
         }
     }
-    let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
+    let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, &tests).unwrap();
     assert!(engine.scalar_fallback_tests() > 0, "X tests must not pack");
     assert!(engine.num_blocks() > 0, "specified tests must still pack");
     let scalar = sim.grade_scalar(&faults, &tests).unwrap();
     assert_eq!(sim.grade(&faults, &tests).unwrap(), scalar);
     assert_eq!(sim.grade_parallel(&faults, &tests, 4).unwrap(), scalar);
+    // The X fallback partition is width-independent: narrow widths agree.
+    let narrow = PpsfpEngine::<1>::prepare(&sim, &tests).unwrap();
+    assert_eq!(
+        narrow.scalar_fallback_tests(),
+        engine.scalar_fallback_tests()
+    );
+    assert_eq!(narrow.grade(&faults).unwrap(), scalar);
+    let mid = PpsfpEngine::<4>::prepare(&sim, &tests).unwrap();
+    assert_eq!(mid.grade(&faults).unwrap(), scalar);
 }
 
 /// An all-X test set leaves the packed path completely empty and still
@@ -118,7 +181,7 @@ fn all_x_test_set_grades_scalar_only() {
         };
         3
     ];
-    let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
+    let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, &tests).unwrap();
     assert_eq!(engine.num_blocks(), 0);
     assert_eq!(engine.scalar_fallback_tests(), 3);
     let scalar = sim.grade_scalar(&faults, &tests).unwrap();
@@ -151,7 +214,7 @@ fn detection_row_matches_per_test_detects() {
     let nl = fig8_sum_circuit();
     let sim = FaultSimulator::new(&nl).unwrap();
     let tests = random_two_pattern(nl.inputs().len(), 130, 21);
-    let engine = PpsfpEngine::prepare(&sim, &tests).unwrap();
+    let engine = PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, &tests).unwrap();
     let mut scratch = PpsfpScratch::default();
     for fault in mixed_faults(&nl).iter().step_by(7) {
         let row = engine.detection_row(fault, &mut scratch).unwrap();

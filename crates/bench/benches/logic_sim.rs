@@ -1,17 +1,21 @@
 //! Digital-substrate kernels: levelized 3-valued simulation, 64-way
-//! parallel-pattern simulation and event-driven timing simulation.
+//! parallel-pattern simulation, the SoA super-lane core and event-driven
+//! timing simulation.
 
 use obd_atpg::rng::XorShift64Star;
 use obd_bench::timing::{bench, header};
 use obd_logic::circuits::ripple_carry_adder;
 use obd_logic::parallel::{simulate_block_with_order, PatternBlock};
 use obd_logic::sim::simulate_with_order;
+use obd_logic::soa::SoaNetlist;
 use obd_logic::timing::{timing_simulate, DelayModel, InputEvent};
 use obd_logic::value::Lv;
+use obd_logic::wide::{LaneWord, WideBlock};
 
 fn main() {
     let nl = ripple_carry_adder(16);
     let order = nl.levelize().expect("acyclic");
+    let soa = SoaNetlist::compile(&nl).expect("acyclic");
     let n = nl.inputs().len();
     let mut rng = XorShift64Star::seed_from_u64(7);
     let vector: Vec<Lv> = (0..n).map(|_| Lv::from_bool(rng.gen_bool())).collect();
@@ -19,6 +23,11 @@ fn main() {
         .map(|_| (0..n).map(|_| Lv::from_bool(rng.gen_bool())).collect())
         .collect();
     let block = PatternBlock::pack(&block_vectors).unwrap();
+    let wide_vectors: Vec<Vec<Lv>> = (0..512)
+        .map(|_| (0..n).map(|_| Lv::from_bool(rng.gen_bool())).collect())
+        .collect();
+    let wide: WideBlock<8> = WideBlock::pack(&wide_vectors).unwrap();
+    let mut wide_words: Vec<LaneWord<8>> = Vec::new();
 
     header("logic_sim");
     bench("scalar_rca16", || {
@@ -26,6 +35,9 @@ fn main() {
     });
     bench("parallel64_rca16", || {
         simulate_block_with_order(&nl, &order, &block).expect("sim")
+    });
+    bench("soa512_rca16", || {
+        soa.simulate_wide_into(&wide, &mut wide_words).expect("sim")
     });
 
     let delays = DelayModel::uniform(100.0, 110.0);

@@ -97,6 +97,7 @@ pub fn render(r: &MetricsRunReport) -> String {
         "atpg.blocks_graded",
         "atpg.good_sim_cache_hits",
         "atpg.faults_dropped",
+        "logic.soa_gates_simulated",
     ];
     for name in key_counters {
         let v = r.snapshot.counter(name).unwrap_or(0);
@@ -119,6 +120,7 @@ mod tests {
             "linalg.lu_factorizations",
             "core.delay_cache_hits",
             "atpg.podem_runs",
+            "logic.soa_gates_simulated",
         ] {
             assert!(
                 r.snapshot.counter(name).unwrap_or(0) > 0,

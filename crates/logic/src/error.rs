@@ -44,10 +44,12 @@ pub enum LogicError {
     },
     /// A referenced name does not exist.
     NotFound(String),
-    /// More patterns than fit one 64-bit packed block.
+    /// More patterns than fit one packed block.
     PatternBlockTooLarge {
         /// Number of patterns supplied.
         found: usize,
+        /// Patterns the block can hold (64 per super-lane).
+        capacity: usize,
     },
 }
 
@@ -75,8 +77,11 @@ impl fmt::Display for LogicError {
                 write!(f, "parse error at line {line}: {message}")
             }
             LogicError::NotFound(name) => write!(f, "not found: {name}"),
-            LogicError::PatternBlockTooLarge { found } => {
-                write!(f, "pattern block holds at most 64 patterns, got {found}")
+            LogicError::PatternBlockTooLarge { found, capacity } => {
+                write!(
+                    f,
+                    "pattern block holds at most {capacity} patterns, got {found}"
+                )
             }
         }
     }

@@ -10,6 +10,10 @@
 //!   (launch/capture) simulation used everywhere in OBD testing.
 //! * [`parallel`] — 64-way bit-parallel two-valued simulation for fast fault
 //!   grading.
+//! * [`wide`] — `[u64; N]` super-lane pattern words and wide pattern
+//!   blocks (up to `64 * N` patterns per sweep).
+//! * [`soa`] — the levelized structure-of-arrays netlist the packed
+//!   simulation hot path walks (one-time `compile()`, flat arrays).
 //! * [`sta`] — static timing analysis: arrival/required/slack, the
 //!   quantity that gates at-speed OBD detectability (§4.2).
 //! * [`timing`] — event-driven timing simulation with per-gate rise/fall
@@ -46,11 +50,15 @@ pub mod gate;
 pub mod netlist;
 pub mod parallel;
 pub mod sim;
+pub mod soa;
 pub mod sta;
 pub mod timing;
 pub mod value;
+pub mod wide;
 
 pub use error::LogicError;
 pub use gate::GateKind;
 pub use netlist::{GateId, NetId, Netlist};
+pub use soa::SoaNetlist;
 pub use value::Lv;
+pub use wide::{LaneWord, WideBlock};

@@ -3,9 +3,18 @@
 //! Each net carries a `u64`; bit `i` is the net's value under pattern `i`.
 //! This is the classic parallel-pattern evaluation used to make fault
 //! grading of large random-pattern sets cheap.
+//!
+//! [`PatternBlock`] is now a thin wrapper over the single-lane
+//! [`WideBlock`]`<1>` from [`crate::wide`]; [`simulate_block`] routes
+//! through the levelized structure-of-arrays core in [`crate::soa`].
+//! The per-gate walk ([`simulate_block_with_order`],
+//! [`simulate_block_forced_into`]) is retained as the independent
+//! reference implementation the SoA path is tested against.
 
 use crate::netlist::{GateId, NetId, Netlist};
+use crate::soa::SoaNetlist;
 use crate::value::Lv;
+use crate::wide::WideBlock;
 use crate::LogicError;
 use obd_metrics::Counter;
 
@@ -19,10 +28,7 @@ static FORCED_BLOCKS_SIMULATED: Counter = Counter::new("logic.forced_blocks_simu
 /// A block of up to 64 fully-specified input patterns.
 #[derive(Debug, Clone, Default)]
 pub struct PatternBlock {
-    /// `words[i]` is the packed values of primary input `i` across the
-    /// block's patterns.
-    words: Vec<u64>,
-    count: usize,
+    inner: WideBlock<1>,
 }
 
 impl PatternBlock {
@@ -36,19 +42,9 @@ impl PatternBlock {
     /// * [`LogicError::InputCountMismatch`] if the vectors have
     ///   inconsistent lengths (ragged input).
     pub fn pack(vectors: &[Vec<Lv>]) -> Result<Self, LogicError> {
-        if vectors.len() > 64 {
-            return Err(LogicError::PatternBlockTooLarge {
-                found: vectors.len(),
-            });
-        }
-        let n_inputs = vectors.first().map_or(0, |v| v.len());
-        if let Some(v) = vectors.iter().find(|v| v.len() != n_inputs) {
-            return Err(LogicError::InputCountMismatch {
-                expected: n_inputs,
-                found: v.len(),
-            });
-        }
-        Ok(Self::pack_unchecked(vectors))
+        Ok(PatternBlock {
+            inner: WideBlock::pack(vectors)?,
+        })
     }
 
     /// [`PatternBlock::pack`] over borrowed vector slices, so callers
@@ -59,76 +55,55 @@ impl PatternBlock {
     ///
     /// Same shape checks as [`PatternBlock::pack`].
     pub fn pack_slices(vectors: &[&[Lv]]) -> Result<Self, LogicError> {
-        if vectors.len() > 64 {
-            return Err(LogicError::PatternBlockTooLarge {
-                found: vectors.len(),
-            });
-        }
-        let n_inputs = vectors.first().map_or(0, |v| v.len());
-        if let Some(v) = vectors.iter().find(|v| v.len() != n_inputs) {
-            return Err(LogicError::InputCountMismatch {
-                expected: n_inputs,
-                found: v.len(),
-            });
-        }
-        let mut words = vec![0u64; n_inputs];
-        for (k, v) in vectors.iter().enumerate() {
-            for (i, &lv) in v.iter().enumerate() {
-                if lv == Lv::One {
-                    words[i] |= 1 << k;
-                }
-            }
-        }
         Ok(PatternBlock {
-            words,
-            count: vectors.len(),
+            inner: WideBlock::pack_slices(vectors)?,
         })
     }
 
-    /// [`PatternBlock::pack`] without the shape checks, for hot paths whose
-    /// chunking already guarantees them (e.g. `chunks(64)` over uniform
-    /// vectors). Extra vectors beyond 64 would corrupt the packing, so the
-    /// bounds are still debug-asserted.
+    /// [`PatternBlock::pack`] for hot paths whose chunking already
+    /// guarantees the shape invariants (e.g. `chunks(64)` over uniform
+    /// vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than 64 vectors or ragged vectors — the historical
+    /// debug-only checks silently corrupted the packing in release
+    /// builds, so they are now unconditional (see
+    /// [`WideBlock::pack_unchecked`]).
     pub fn pack_unchecked(vectors: &[Vec<Lv>]) -> Self {
-        debug_assert!(vectors.len() <= 64, "at most 64 patterns per block");
-        let n_inputs = vectors.first().map_or(0, |v| v.len());
-        let mut words = vec![0u64; n_inputs];
-        for (k, v) in vectors.iter().enumerate() {
-            debug_assert_eq!(v.len(), n_inputs, "inconsistent vector lengths");
-            for (i, &lv) in v.iter().enumerate() {
-                if lv == Lv::One {
-                    words[i] |= 1 << k;
-                }
-            }
-        }
         PatternBlock {
-            words,
-            count: vectors.len(),
+            inner: WideBlock::pack_unchecked(vectors),
         }
     }
 
     /// Number of patterns in the block.
     pub fn len(&self) -> usize {
-        self.count
+        self.inner.len()
     }
 
     /// Whether the block is empty.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.inner.is_empty()
+    }
+
+    /// Number of primary inputs the block was packed for.
+    pub fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
     }
 
     /// Mask with one bit set per valid pattern.
     pub fn mask(&self) -> u64 {
-        if self.count == 64 {
-            !0
-        } else {
-            (1u64 << self.count) - 1
-        }
+        self.inner.mask().lane(0)
     }
 
     /// Packed word for primary input `i`.
     pub fn word(&self, i: usize) -> u64 {
-        self.words[i]
+        self.inner.word(i).lane(0)
+    }
+
+    /// The underlying single-lane wide block.
+    pub fn as_wide(&self) -> &WideBlock<1> {
+        &self.inner
     }
 }
 
@@ -167,7 +142,9 @@ impl ParallelResult {
     }
 }
 
-/// Simulates a pattern block through the netlist.
+/// Simulates a pattern block through the netlist via the levelized SoA
+/// core (compiled on the fly; callers simulating many blocks should
+/// compile a [`SoaNetlist`] once and use it directly).
 ///
 /// # Errors
 ///
@@ -175,11 +152,20 @@ impl ParallelResult {
 ///   PI count.
 /// * Propagates levelization errors.
 pub fn simulate_block(nl: &Netlist, block: &PatternBlock) -> Result<ParallelResult, LogicError> {
-    let order = nl.levelize()?;
-    simulate_block_with_order(nl, &order, block)
+    let soa = SoaNetlist::compile(nl)?;
+    BLOCKS_SIMULATED.inc();
+    PATTERNS_SIMULATED.add(block.len() as u64);
+    let mut wide = Vec::new();
+    soa.simulate_wide_into(block.as_wide(), &mut wide)?;
+    Ok(ParallelResult {
+        words: wide.iter().map(|w| w.lane(0)).collect(),
+        mask: block.mask(),
+    })
 }
 
-/// [`simulate_block`] with a precomputed topological order.
+/// [`simulate_block`] walking the per-gate [`Netlist`] representation
+/// with a precomputed topological order — the pre-SoA reference path,
+/// kept for differential testing and callers that already hold an order.
 ///
 /// # Errors
 ///
@@ -189,10 +175,10 @@ pub fn simulate_block_with_order(
     order: &[GateId],
     block: &PatternBlock,
 ) -> Result<ParallelResult, LogicError> {
-    if block.words.len() != nl.inputs().len() {
+    if block.num_inputs() != nl.inputs().len() {
         return Err(LogicError::InputCountMismatch {
             expected: nl.inputs().len(),
-            found: block.words.len(),
+            found: block.num_inputs(),
         });
     }
     BLOCKS_SIMULATED.inc();
@@ -227,6 +213,10 @@ pub fn simulate_block_with_order(
 /// `words` receives one packed word per net; `scratch` is gate-input
 /// working space. Both are cleared and reused.
 ///
+/// The PPSFP engine's hot path now uses
+/// [`SoaNetlist::simulate_wide_forced_into`]; this per-gate variant is
+/// the reference it is tested against.
+///
 /// # Errors
 ///
 /// [`LogicError::InputCountMismatch`] on wrong block width.
@@ -238,10 +228,10 @@ pub fn simulate_block_forced_into(
     words: &mut Vec<u64>,
     scratch: &mut Vec<u64>,
 ) -> Result<(), LogicError> {
-    if block.words.len() != nl.inputs().len() {
+    if block.num_inputs() != nl.inputs().len() {
         return Err(LogicError::InputCountMismatch {
             expected: nl.inputs().len(),
-            found: block.words.len(),
+            found: block.num_inputs(),
         });
     }
     FORCED_BLOCKS_SIMULATED.inc();
@@ -302,6 +292,20 @@ mod tests {
     }
 
     #[test]
+    fn soa_block_sim_matches_per_gate_reference() {
+        let nl = sample();
+        let order = nl.levelize().unwrap();
+        let vectors: Vec<_> = all_vectors(3).collect();
+        let block = PatternBlock::pack(&vectors).unwrap();
+        let soa = simulate_block(&nl, &block).unwrap();
+        let reference = simulate_block_with_order(&nl, &order, &block).unwrap();
+        assert_eq!(soa.mask(), reference.mask());
+        for n in nl.net_ids() {
+            assert_eq!(soa.word(n), reference.word(n), "net {}", nl.net_name(n));
+        }
+    }
+
+    #[test]
     fn block_mask_counts_patterns() {
         let vectors: Vec<_> = all_vectors(2).collect();
         let block = PatternBlock::pack(&vectors).unwrap();
@@ -324,7 +328,10 @@ mod tests {
         let vectors: Vec<Vec<Lv>> = (0..65).map(|_| vec![Lv::Zero, Lv::One]).collect();
         assert!(matches!(
             PatternBlock::pack(&vectors),
-            Err(LogicError::PatternBlockTooLarge { found: 65 })
+            Err(LogicError::PatternBlockTooLarge {
+                found: 65,
+                capacity: 64
+            })
         ));
     }
 
@@ -338,6 +345,13 @@ mod tests {
                 found: 1
             })
         ));
+    }
+
+    #[test]
+    #[should_panic(expected = "pack_unchecked shape violation")]
+    fn pack_unchecked_rejects_oversized_blocks() {
+        let vectors: Vec<Vec<Lv>> = (0..65).map(|_| vec![Lv::Zero]).collect();
+        let _ = PatternBlock::pack_unchecked(&vectors);
     }
 
     #[test]

@@ -26,12 +26,18 @@ import json
 with open("results/METRICS_run.json") as f:
     snap = json.load(f)
 counters = snap["counters"]
-for key in ("spice.newton_iterations", "linalg.lu_factorizations"):
+for key in ("spice.newton_iterations", "linalg.lu_factorizations",
+            "logic.soa_gates_simulated"):
     assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
+gauges = snap["gauges"]
+assert gauges.get("logic.levels", 0) > 0, f"levelized netlist depth not published: {gauges}"
+assert gauges.get("atpg.superlane_width", 0) >= 1, f"super-lane width not published: {gauges}"
 print(
     "METRICS_run.json ok:",
     f"newton_iterations={counters['spice.newton_iterations']}",
     f"lu_factorizations={counters['linalg.lu_factorizations']}",
+    f"soa_gates_simulated={counters['logic.soa_gates_simulated']}",
+    f"superlane_width={gauges['atpg.superlane_width']:.0f}",
 )
 EOF
 
@@ -60,8 +66,9 @@ EOF
 
 # Smoke the PPSFP grading engine end to end: `repro bench-atpg` must
 # emit a parseable report whose detection vectors were bit-exact across
-# the scalar reference, the packed engine, and the parallel shards, with
-# a real bit-parallel speedup on at least one workload.
+# the scalar reference, the narrow engine, the super-lane engine, and
+# the parallel shards, with a real bit-parallel speedup on every
+# non-trivial workload and a super-lane win on the no-dropping sweep.
 ./target/release/repro bench-atpg
 python3 - <<'EOF'
 import json
@@ -71,18 +78,41 @@ with open("results/BENCH_atpg.json") as f:
 assert bench["bit_exact"] is True, "packed grading diverged from the scalar reference"
 assert bench["threads"] >= 1
 names = [row["name"] for row in bench["circuits"]]
-assert "c17" in names and "mux4" in names, f"unexpected circuit set: {names}"
+for expected in ("c17", "mux4", "rca32", "csa32", "mult16"):
+    assert expected in names, f"unexpected circuit set: {names}"
 for row in bench["circuits"]:
-    for key in ("faults", "tests", "blocks", "scalar_s", "packed_serial_s",
-                "packed_parallel_s", "packed_speedup", "total_speedup"):
+    for key in ("gates", "faults", "tests", "blocks", "scalar_s", "narrow_serial_s",
+                "packed_serial_s", "packed_parallel_s", "packed_speedup",
+                "superlane_speedup", "parallel_speedup", "total_speedup"):
         assert key in row, f"{row['name']}: missing field {key}"
-    assert row["packed_speedup"] > 1.0, f"{row['name']}: no bit-parallel win: {row['packed_speedup']}"
+    # c17 is small enough that a 512-wide block wastes work against the
+    # scalar path; every real circuit must show the bit-parallel win.
+    if row["gates"] >= 40:
+        assert row["packed_speedup"] > 1.0, \
+            f"{row['name']}: no bit-parallel win: {row['packed_speedup']}"
+largest = max(bench["circuits"], key=lambda r: r["gates"])
+assert largest["gates"] >= 2000, f"largest circuit has only {largest['gates']} gates"
+assert largest["faults"] >= 1000, f"largest circuit grades only {largest['faults']} faults"
+# The super-lane widening must pay off >= 2x on the no-dropping sweep of
+# a generator circuit with thousands of gates.
+sl = bench["superlane"]
+for key in ("name", "gates", "faults", "tests", "narrow_s", "packed_s", "speedup"):
+    assert key in sl, f"superlane: missing field {key}"
+assert sl["gates"] >= 2000, f"superlane sweep circuit has only {sl['gates']} gates"
+assert sl["speedup"] >= 2.0, \
+    f"super-lane speedup {sl['speedup']:.2f}x is below the 2x target"
+# Real multi-core scaling is only observable on a multi-core host.
+if bench["threads"] >= 4:
+    assert largest["parallel_speedup"] >= 2.0, \
+        f"parallel speedup {largest['parallel_speedup']:.2f}x on {bench['threads']} threads"
 best = max(max(r["packed_speedup"] for r in bench["circuits"]), bench["matrix"]["speedup"])
 assert best >= 8.0, f"best packed speedup {best:.2f}x is below the 8x target"
 print(
     "BENCH_atpg.json ok:",
     f"best_speedup={best:.1f}x",
     f"matrix={bench['matrix']['speedup']:.1f}x",
+    f"superlane={sl['speedup']:.1f}x on {sl['gates']} gates",
+    f"parallel={largest['parallel_speedup']:.1f}x on {bench['threads']} threads",
     "bit_exact=true",
 )
 EOF
