@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper as text/CSV artifacts.
 //!
 //! ```text
-//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg]
+//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg|fleet|chaos]
 //! ```
 //!
 //! Artifacts are written to `results/` in the current directory; a summary
@@ -11,7 +11,7 @@ use std::fs;
 use std::path::Path;
 
 use obd_bench::experiments::{
-    atpg_bench, bist_eval, chaos, clock_sweep, em_contrast, excitation, fig4, fig9, iddq,
+    atpg_bench, bist_eval, chaos, clock_sweep, em_contrast, excitation, fig4, fig9, fleet, iddq,
     metrics_run, scaling, scan_eval, spice_bench, stats, table1, tpg_compare, variation, waveforms,
     window,
 };
@@ -339,6 +339,21 @@ fn run_chaos() {
     }
 }
 
+fn run_fleet() {
+    println!("== Fleet: concurrent-test scheduling at deployment scale (FLEET_run.json) ==");
+    let cfg = fleet::config_from_env();
+    match fleet::run(&cfg) {
+        Ok(r) => {
+            print!("{}", r.render());
+            save("FLEET_run.json", &r.to_json());
+        }
+        Err(e) => {
+            eprintln!("  FLEET RUN FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_scaling() {
     println!("== E9: ATPG complexity scaling ==");
     match scaling::run(&[2, 4, 8, 16, 24], &[8, 16, 32]) {
@@ -416,6 +431,9 @@ fn main() {
     if all || arg == "bench-atpg" {
         run_atpg_bench();
     }
+    if all || arg == "fleet" {
+        run_fleet();
+    }
     // Chaos deliberately stays out of `all`: it arms process-global fault
     // injection, which must not contaminate the paper artifacts.
     if arg == "chaos" {
@@ -441,12 +459,13 @@ fn main() {
             "variation",
             "bench",
             "bench-atpg",
+            "fleet",
             "chaos",
         ]
         .contains(&arg.as_str())
     {
         eprintln!(
-            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, chaos"
+            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, fleet, chaos"
         );
         std::process::exit(2);
     }

@@ -1,6 +1,6 @@
 //! `repro chaos`: seeded fault-injection campaigns across the solver
-//! stack (`obd-linalg`, `obd-spice`, `obd-core`, `obd-atpg`), asserting
-//! the panic-free contract end to end.
+//! stack (`obd-linalg`, `obd-spice`, `obd-core`, `obd-atpg`,
+//! `obd-fleet`), asserting the panic-free contract end to end.
 //!
 //! Every operation runs under `catch_unwind` with chaos armed at a
 //! layer-specific rate. The injection counter is read before and after
@@ -359,6 +359,51 @@ fn run_atpg_layer(seed: u64, ops: u64) -> (LayerReport, obd_chaos::ChaosSnapshot
     (rep, snap)
 }
 
+/// The fleet layer differs from the solver layers: one "op" is one
+/// simulated device, and the device loop attributes every injection at
+/// its fire site (`fleet.device_fault` poisons the device — a typed,
+/// *reported* error; `fleet.sched_skew` and a masked `fleet.test_corrupt`
+/// are *degraded* opportunities; a false-alarm `fleet.test_corrupt` on a
+/// healthy session is cleared by the retest — *recovered*). The ledger
+/// is therefore exact by construction rather than per-op delta
+/// attribution. The BIST profile is the synthetic slack-ideal one: it
+/// keeps the armed region free of `atpg.grade_error`/`core.delay_corrupt`
+/// fire sites, so every injection observed here is a fleet-layer one.
+fn run_fleet_layer(seed: u64, devices: u64) -> (LayerReport, obd_chaos::ChaosSnapshot) {
+    let rate = 40;
+    let cfg = obd_fleet::FleetConfig {
+        devices,
+        threads: 1,
+        horizon_hours: 500.0,
+        ..obd_fleet::FleetConfig::default()
+    };
+    let profile = obd_fleet::BistProfile::slack_ideal(
+        &cfg.table,
+        obd_core::faultmodel::Polarity::Nmos,
+        cfg.slack_ps,
+    );
+    obd_chaos::arm(seed ^ 0x5555_5555, rate);
+    let mut rep = LayerReport::new("fleet", rate);
+    rep.ops = devices;
+    let before = obd_chaos::injected_total();
+    let result = catch_unwind(AssertUnwindSafe(|| obd_fleet::run_fleet(&cfg, &profile)));
+    rep.injected = obd_chaos::injected_total().saturating_sub(before);
+    match result {
+        Err(_) => rep.panics += 1,
+        // A config/grading error with injections outstanding: surfaced as
+        // a typed error, so the whole delta is reported.
+        Ok(Err(_)) => rep.reported = rep.injected,
+        Ok(Ok(r)) => {
+            rep.recovered = r.accum.recovered_events;
+            rep.degraded = r.accum.degraded_events;
+            rep.reported = r.accum.poisoned;
+        }
+    }
+    let snap = obd_chaos::snapshot();
+    obd_chaos::disarm();
+    (rep, snap)
+}
+
 /// Runs the full campaign at the given seed with per-layer op counts
 /// scaled by `scale` (1 = the `repro chaos` defaults, which inject well
 /// over 200 faults; tests use a smaller scale).
@@ -371,6 +416,7 @@ pub fn run_with_scale(seed: u64, scale: u64) -> ChaosReport {
         run_spice_layer(seed, 12 * scale),
         run_core_layer(seed, scale.div_ceil(4)),
         run_atpg_layer(seed, 4 * scale),
+        run_fleet_layer(seed, 500 * scale),
     ] {
         merge_points(&mut points, &snap);
         layers.push(rep);

@@ -1,0 +1,127 @@
+//! `repro fleet`: the serving-scale concurrent-test workload.
+//!
+//! Simulates ≥1,000,000 deployed devices (ROADMAP item 2), each with a
+//! seeded stochastic OBD onset/progression and a window-driven BIST
+//! scheduler, detection resolved against a PPSFP-graded c17 BIST set.
+//! Writes `results/FLEET_run.json`, which is byte-identical for a fixed
+//! `OBD_FLEET_SEED` regardless of `OBD_FLEET_THREADS` — the determinism
+//! golden test in `crates/fleet/tests/determinism.rs` pins that.
+
+use obd_atpg::bist::phased_lfsr_two_pattern_tests;
+use obd_fleet::{run_fleet, BistProfile, FleetConfig, FleetReport};
+use obd_logic::circuits::c17;
+
+/// Default BIST pattern-set size: enough phased two-pattern tests for
+/// c17 to cover every site somewhere in the ladder while keeping a
+/// visible SBD/MBD1 coverage gap — the gap is what makes escapes a real
+/// phenomenon instead of a rounding error.
+pub const DEFAULT_BIST_TESTS: usize = 48;
+
+/// LFSR seed for the BIST pattern set (fixed: part of the artifact).
+pub const BIST_SEED: u64 = 0x0BD_B157;
+
+/// Parses an env var as u64 (decimal or 0x-hex), `None` when unset or
+/// malformed.
+fn env_u64(name: &str) -> Option<u64> {
+    let s = std::env::var(name).ok()?;
+    let t = s.trim();
+    match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => t.parse().ok(),
+    }
+}
+
+/// The fleet configuration the verb runs: library defaults plus the
+/// `OBD_FLEET_SEED` / `OBD_FLEET_DEVICES` / `OBD_FLEET_THREADS`
+/// environment overrides.
+pub fn config_from_env() -> FleetConfig {
+    let mut cfg = FleetConfig::default();
+    if let Some(seed) = env_u64("OBD_FLEET_SEED") {
+        cfg.seed = seed;
+    }
+    if let Some(devices) = env_u64("OBD_FLEET_DEVICES") {
+        cfg.devices = devices.max(1);
+    }
+    if let Some(threads) = env_u64("OBD_FLEET_THREADS") {
+        cfg.threads = threads as usize;
+    }
+    cfg
+}
+
+/// Grades the default c17 BIST profile at the config's slack.
+///
+/// # Errors
+///
+/// Propagates grading failures as strings (the repro CLI prints them).
+pub fn default_profile(cfg: &FleetConfig) -> Result<BistProfile, String> {
+    let nl = c17();
+    let tests = phased_lfsr_two_pattern_tests(nl.inputs().len(), DEFAULT_BIST_TESTS, 16, BIST_SEED);
+    BistProfile::grade(&nl, "c17", &tests, &cfg.table, cfg.slack_ps).map_err(|e| e.to_string())
+}
+
+/// Runs the full fleet workload for the `repro fleet` verb.
+///
+/// # Errors
+///
+/// Config and grading failures as strings.
+pub fn run(cfg: &FleetConfig) -> Result<FleetReport, String> {
+    let profile = default_profile(cfg)?;
+    run_fleet(cfg, &profile).map_err(|e| e.to_string())
+}
+
+/// A small fleet (default seed, `devices` devices, single thread) for
+/// the observability run: exercises every `fleet.*` metric without the
+/// million-device runtime.
+///
+/// # Errors
+///
+/// Config and grading failures as strings.
+pub fn run_small(devices: u64) -> Result<FleetReport, String> {
+    let cfg = FleetConfig {
+        devices,
+        threads: 1,
+        ..FleetConfig::default()
+    };
+    run(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_covers_every_site_somewhere() {
+        let cfg = FleetConfig::default();
+        let p = default_profile(&cfg).unwrap();
+        assert!(p.sites() > 0);
+        assert_eq!(p.tests(), DEFAULT_BIST_TESTS);
+        // Every site must be detectable at some ladder stage, otherwise
+        // that site can only ever escape and the workload is mis-tuned.
+        let covered_somewhere = (0..p.sites())
+            .filter(|&s| {
+                obd_fleet::schedule::LADDER
+                    .iter()
+                    .any(|&stage| p.covered(stage, s))
+            })
+            .count();
+        assert_eq!(
+            covered_somewhere,
+            p.sites(),
+            "default BIST set leaves sites permanently invisible"
+        );
+    }
+
+    #[test]
+    fn small_fleet_runs_clean() {
+        let r = run_small(2_000).unwrap();
+        let a = &r.accum;
+        assert_eq!(a.devices, 2_000);
+        assert_eq!(a.poisoned, 0, "chaos disarmed: no poisoned devices");
+        assert!(a.afflicted > 0, "default p_defect must afflict someone");
+        assert!(a.detected > 0, "graded coverage must catch someone");
+        assert!(r.escape_rate().is_finite());
+        let j = r.to_json();
+        assert!(j.contains("\"escape_rate\""));
+        assert!(j.contains("\"p99\""));
+    }
+}

@@ -27,6 +27,8 @@ pub struct MetricsRunReport {
     pub atpg_faults: usize,
     /// OBD faults detected by the generated tests.
     pub atpg_detected: usize,
+    /// Devices simulated by the mini fleet flow.
+    pub fleet_devices: u64,
 }
 
 /// Runs the Table 1 + ATPG flows with metrics on.
@@ -67,11 +69,16 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
         .grade_auto(&faults, &report.tests)
         .map_err(|e| e.to_string())?;
 
+    // Mini fleet flow: a few thousand devices is enough to drive every
+    // fleet.* counter, gauge, and the detection-latency histogram.
+    let fleet = crate::experiments::fleet::run_small(4_000)?;
+
     Ok(MetricsRunReport {
         snapshot: obd_metrics::snapshot(),
         table1_rows: table1.rows.len(),
         atpg_faults: faults.len(),
         atpg_detected: detected.iter().filter(|&&d| d).count(),
+        fleet_devices: fleet.accum.devices,
     })
 }
 
@@ -79,8 +86,8 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
 pub fn render(r: &MetricsRunReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "observability run: {} Table 1 rows, {} OBD faults ({} detected)\n",
-        r.table1_rows, r.atpg_faults, r.atpg_detected
+        "observability run: {} Table 1 rows, {} OBD faults ({} detected), {} fleet devices\n",
+        r.table1_rows, r.atpg_faults, r.atpg_detected, r.fleet_devices
     ));
     let key_counters = [
         "spice.newton_iterations",
@@ -98,6 +105,10 @@ pub fn render(r: &MetricsRunReport) -> String {
         "atpg.good_sim_cache_hits",
         "atpg.faults_dropped",
         "logic.soa_gates_simulated",
+        "fleet.devices_simulated",
+        "fleet.bist_sessions",
+        "fleet.detections",
+        "fleet.escapes",
     ];
     for name in key_counters {
         let v = r.snapshot.counter(name).unwrap_or(0);
@@ -121,6 +132,9 @@ mod tests {
             "core.delay_cache_hits",
             "atpg.podem_runs",
             "logic.soa_gates_simulated",
+            "fleet.devices_simulated",
+            "fleet.bist_sessions",
+            "fleet.detections",
         ] {
             assert!(
                 r.snapshot.counter(name).unwrap_or(0) > 0,

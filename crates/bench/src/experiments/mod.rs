@@ -8,6 +8,7 @@ pub mod em_contrast;
 pub mod excitation;
 pub mod fig4;
 pub mod fig9;
+pub mod fleet;
 pub mod iddq;
 pub mod metrics_run;
 pub mod scaling;

@@ -1,0 +1,331 @@
+//! Aggregate fleet report: exact latency percentiles and the
+//! deterministic `FLEET_run.json` artifact.
+//!
+//! Everything in `to_json()` derives from integer accumulators and the
+//! input config, formatted at fixed precision — the bytes depend only on
+//! `(seed, config)`, never on thread count or timing, which is what the
+//! determinism golden test pins. Host-dependent facts (thread count)
+//! appear only in the human-readable `render()`.
+
+use obd_core::faultmodel::Polarity;
+use obd_core::progression::ProgressionModel;
+use obd_core::window::DetectionWindow;
+
+use crate::coverage::BistProfile;
+use crate::schedule::LADDER;
+use crate::sim::{FleetAccum, FleetConfig};
+
+/// Summary of the graded BIST profile driving the fleet.
+#[derive(Debug, Clone)]
+pub struct BistSummary {
+    /// Circuit label.
+    pub circuit: String,
+    /// OBD fault site count.
+    pub sites: usize,
+    /// Two-pattern test count in the graded set.
+    pub tests: usize,
+    /// Covered sites per [`LADDER`] stage.
+    pub covered_by_stage: [usize; 5],
+}
+
+/// The full fleet run outcome.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Configured fleet size.
+    pub devices: u64,
+    /// Worker threads actually used (excluded from the JSON artifact).
+    pub threads_used: usize,
+    /// Simulated deployment length, hours.
+    pub horizon_hours: f64,
+    /// Detection slack, ps.
+    pub slack_ps: f64,
+    /// In-window opportunities the scheduler guarantees.
+    pub opportunities: usize,
+    /// Interval multiplier the run used.
+    pub interval_scale: f64,
+    /// BIST profile summary.
+    pub bist: BistSummary,
+    /// Reference detection windows (27 h progression) per polarity from
+    /// the interpolated core model, for context.
+    pub reference_windows: [(Polarity, Option<DetectionWindow>); 2],
+    /// Integer accumulator (latencies sorted ascending).
+    pub accum: FleetAccum,
+}
+
+impl FleetReport {
+    /// Assembles the report from a finished accumulator.
+    pub fn build(
+        cfg: &FleetConfig,
+        profile: &BistProfile,
+        threads_used: usize,
+        accum: FleetAccum,
+    ) -> FleetReport {
+        let reference_windows = [Polarity::Nmos, Polarity::Pmos].map(|p| {
+            let prog = ProgressionModel::reference(p);
+            (
+                p,
+                obd_core::window::detection_window(&cfg.table, &prog, p, cfg.slack_ps),
+            )
+        });
+        FleetReport {
+            seed: cfg.seed,
+            devices: cfg.devices,
+            threads_used,
+            horizon_hours: cfg.horizon_hours,
+            slack_ps: cfg.slack_ps,
+            opportunities: cfg.policy.opportunities,
+            interval_scale: cfg.policy.interval_scale,
+            bist: BistSummary {
+                circuit: profile.circuit().to_string(),
+                sites: profile.sites(),
+                tests: profile.tests(),
+                covered_by_stage: profile.coverage_by_stage(),
+            },
+            reference_windows,
+            accum,
+        }
+    }
+
+    /// Escapes per afflicted device (0 when nothing was afflicted).
+    pub fn escape_rate(&self) -> f64 {
+        if self.accum.afflicted == 0 {
+            0.0
+        } else {
+            self.accum.escaped as f64 / self.accum.afflicted as f64
+        }
+    }
+
+    /// Sessions per device across the fleet.
+    pub fn sessions_per_device(&self) -> f64 {
+        if self.accum.devices == 0 {
+            0.0
+        } else {
+            self.accum.sessions as f64 / self.accum.devices as f64
+        }
+    }
+
+    /// Exact latency percentile in milli-hours (nearest-rank on the
+    /// sorted vector); `None` when nothing was detected.
+    pub fn latency_percentile_mh(&self, q: f64) -> Option<u64> {
+        let lat = &self.accum.latencies_mh;
+        if lat.is_empty() {
+            return None;
+        }
+        let n = lat.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(lat[rank - 1])
+    }
+
+    /// Mean detection latency in hours.
+    pub fn latency_mean_hours(&self) -> f64 {
+        let lat = &self.accum.latencies_mh;
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = lat.iter().map(|&v| u128::from(v)).sum();
+        (sum as f64 / lat.len() as f64) / 1_000.0
+    }
+
+    fn hours(mh: Option<u64>) -> f64 {
+        mh.map_or(0.0, |v| v as f64 / 1_000.0)
+    }
+
+    /// The deterministic machine-readable artifact (see module docs).
+    pub fn to_json(&self) -> String {
+        let a = &self.accum;
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"devices\": {},\n", self.devices));
+        s.push_str(&format!(
+            "  \"horizon_hours\": {:.3},\n",
+            self.horizon_hours
+        ));
+        s.push_str(&format!("  \"slack_ps\": {:.3},\n", self.slack_ps));
+        s.push_str(&format!(
+            "  \"policy\": {{ \"opportunities\": {}, \"interval_scale\": {:.6} }},\n",
+            self.opportunities, self.interval_scale
+        ));
+        s.push_str(&format!(
+            "  \"bist\": {{ \"circuit\": \"{}\", \"sites\": {}, \"tests\": {}, \"covered_by_stage\": {{ ",
+            self.bist.circuit, self.bist.sites, self.bist.tests
+        ));
+        for (i, &stage) in LADDER.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{stage:?}\": {}", self.bist.covered_by_stage[i]));
+        }
+        s.push_str(" } },\n");
+        s.push_str("  \"reference_windows_hours\": { ");
+        for (i, (p, w)) in self.reference_windows.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match w {
+                Some(w) => s.push_str(&format!(
+                    "\"{p}\": {{ \"opens\": {:.4}, \"closes\": {:.4} }}",
+                    w.opens_hours, w.closes_hours
+                )),
+                None => s.push_str(&format!("\"{p}\": null")),
+            }
+        }
+        s.push_str(" },\n");
+        s.push_str(&format!("  \"devices_simulated\": {},\n", a.devices));
+        s.push_str(&format!("  \"bist_sessions\": {},\n", a.sessions));
+        s.push_str(&format!(
+            "  \"tests_per_device\": {:.4},\n",
+            self.sessions_per_device()
+        ));
+        s.push_str(&format!("  \"healthy\": {},\n", a.healthy));
+        s.push_str(&format!("  \"afflicted\": {},\n", a.afflicted));
+        s.push_str(&format!("  \"detected\": {},\n", a.detected));
+        s.push_str(&format!("  \"escapes\": {},\n", a.escaped));
+        s.push_str(&format!("  \"censored\": {},\n", a.censored));
+        s.push_str(&format!("  \"poisoned\": {},\n", a.poisoned));
+        s.push_str(&format!("  \"degraded_events\": {},\n", a.degraded_events));
+        s.push_str(&format!(
+            "  \"recovered_events\": {},\n",
+            a.recovered_events
+        ));
+        s.push_str(&format!("  \"escape_rate\": {:.6},\n", self.escape_rate()));
+        s.push_str(&format!(
+            "  \"detection_latency_hours\": {{ \"count\": {}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"max\": {:.3} }}\n",
+            a.detected,
+            Self::hours(self.latency_percentile_mh(0.50)),
+            Self::hours(self.latency_percentile_mh(0.95)),
+            Self::hours(self.latency_percentile_mh(0.99)),
+            self.latency_mean_hours(),
+            Self::hours(a.latencies_mh.last().copied()),
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary (may include host-dependent facts).
+    pub fn render(&self) -> String {
+        let a = &self.accum;
+        let mut s = String::new();
+        s.push_str(&format!(
+            "fleet: {} devices over {:.0} h on {} thread(s), seed {:#x}\n",
+            a.devices, self.horizon_hours, self.threads_used, self.seed
+        ));
+        s.push_str(&format!(
+            "bist:  {} ({} sites, {} tests), slack {:.0} ps, {} in-window opportunities\n",
+            self.bist.circuit, self.bist.sites, self.bist.tests, self.slack_ps, self.opportunities
+        ));
+        s.push_str(&format!(
+            "load:  {} sessions ({:.2} per device)\n",
+            a.sessions,
+            self.sessions_per_device()
+        ));
+        s.push_str(&format!(
+            "fate:  {} healthy | {} afflicted -> {} detected, {} escaped, {} censored | {} poisoned\n",
+            a.healthy, a.afflicted, a.detected, a.escaped, a.censored, a.poisoned
+        ));
+        s.push_str(&format!(
+            "rate:  escape_rate {:.4}, detection latency p50 {:.2} h / p95 {:.2} h / p99 {:.2} h\n",
+            self.escape_rate(),
+            Self::hours(self.latency_percentile_mh(0.50)),
+            Self::hours(self.latency_percentile_mh(0.95)),
+            Self::hours(self.latency_percentile_mh(0.99)),
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obd_core::characterize::DelayTable;
+
+    fn sample_report() -> FleetReport {
+        let cfg = FleetConfig {
+            devices: 100,
+            ..FleetConfig::default()
+        };
+        let profile = BistProfile::slack_ideal(&cfg.table, Polarity::Nmos, cfg.slack_ps);
+        let accum = FleetAccum {
+            devices: 100,
+            sessions: 1_234,
+            healthy: 80,
+            afflicted: 20,
+            detected: 16,
+            escaped: 3,
+            censored: 1,
+            poisoned: 0,
+            degraded_events: 2,
+            recovered_events: 1,
+            latencies_mh: (1..=16).map(|i| i * 500).collect(),
+        };
+        FleetReport::build(&cfg, &profile, 3, accum)
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_exact() {
+        let r = sample_report();
+        // 16 sorted latencies 500, 1000, …, 8000 mh.
+        assert_eq!(r.latency_percentile_mh(0.50), Some(4_000));
+        assert_eq!(r.latency_percentile_mh(0.95), Some(8_000));
+        assert_eq!(r.latency_percentile_mh(0.99), Some(8_000));
+        assert_eq!(r.latency_percentile_mh(1.0), Some(8_000));
+        let empty = FleetReport {
+            accum: FleetAccum::default(),
+            ..sample_report()
+        };
+        assert_eq!(empty.latency_percentile_mh(0.5), None);
+    }
+
+    #[test]
+    fn escape_rate_counts_afflicted_only() {
+        let r = sample_report();
+        assert!((r.escape_rate() - 3.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_thread_free() {
+        let r = sample_report();
+        let j = r.to_json();
+        for key in [
+            "\"seed\"",
+            "\"escape_rate\"",
+            "\"tests_per_device\"",
+            "\"detection_latency_hours\"",
+            "\"p50\"",
+            "\"p95\"",
+            "\"p99\"",
+            "\"reference_windows_hours\"",
+            "\"covered_by_stage\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(
+            !j.contains("thread"),
+            "JSON artifact must not depend on host parallelism: {j}"
+        );
+        // Different thread counts, identical bytes.
+        let mut r2 = sample_report();
+        r2.threads_used = 1;
+        assert_eq!(j, r2.to_json());
+        assert!(r.render().contains("3 thread(s)"));
+    }
+
+    #[test]
+    fn reference_windows_match_core_model() {
+        let r = sample_report();
+        let table = DelayTable::paper();
+        let (p, w) = &r.reference_windows[0];
+        assert_eq!(*p, Polarity::Nmos);
+        let expect = obd_core::window::detection_window(
+            &table,
+            &ProgressionModel::reference(Polarity::Nmos),
+            Polarity::Nmos,
+            25.0,
+        )
+        .unwrap();
+        let w = w.as_ref().unwrap();
+        assert!((w.opens_hours - expect.opens_hours).abs() < 1e-12);
+        assert!((w.closes_hours - expect.closes_hours).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Chaos integration: the fleet-layer injection points satisfy the
+//! exact `injected == recovered + degraded + reported` ledger, mirroring
+//! the `repro chaos` campaign accounting.
+//!
+//! Every fleet injection is attributed once, at its fire site:
+//!
+//! * `fleet.device_fault` → the device is poisoned — a typed, *reported*
+//!   error the driver counts and skips;
+//! * `fleet.sched_skew` → a *degraded* (lost) test opportunity;
+//! * `fleet.test_corrupt` on a covered session → a masked detection,
+//!   *degraded*; on an uncovered session → a false alarm cleared by the
+//!   immediate retest, *recovered*.
+//!
+//! Chaos state is process-global, so this suite lives in its own test
+//! binary and serializes its cases behind a mutex (mirroring
+//! `chaos_campaign.rs` in `obd-bench`).
+
+use std::sync::Mutex;
+
+use obd_core::faultmodel::Polarity;
+use obd_fleet::{run_fleet, BistProfile, FleetConfig, FleetReport};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn chaos_cfg(devices: u64) -> FleetConfig {
+    FleetConfig {
+        seed: 0xC4A0,
+        devices,
+        threads: 1,
+        horizon_hours: 500.0,
+        ..FleetConfig::default()
+    }
+}
+
+/// Runs a fleet with chaos armed at `rate` and returns
+/// `(report, injected_delta)`.
+fn armed_run(rate: u32, devices: u64) -> (FleetReport, u64) {
+    obd_chaos::arm(0x5EED ^ u64::from(rate), rate);
+    let before = obd_chaos::injected_total();
+    let cfg = chaos_cfg(devices);
+    let profile = BistProfile::slack_ideal(&cfg.table, Polarity::Nmos, cfg.slack_ps);
+    let r = run_fleet(&cfg, &profile).expect("fleet under chaos");
+    let injected = obd_chaos::injected_total().saturating_sub(before);
+    obd_chaos::disarm();
+    (r, injected)
+}
+
+fn ledger(r: &FleetReport) -> u64 {
+    r.accum.recovered_events + r.accum.degraded_events + r.accum.poisoned
+}
+
+#[test]
+fn ledger_is_exact_at_rate_zero() {
+    let _gate = GATE.lock().expect("gate");
+    let (r, injected) = armed_run(0, 2_000);
+    assert_eq!(injected, 0, "rate 0 must inject nothing");
+    assert_eq!(ledger(&r), 0);
+    assert_eq!(r.accum.poisoned, 0);
+    assert_eq!(r.accum.devices, 2_000);
+}
+
+#[test]
+fn ledger_is_exact_at_rate_250() {
+    let _gate = GATE.lock().expect("gate");
+    let (r, injected) = armed_run(250, 2_000);
+    assert!(injected > 0, "a quarter-rate campaign must inject");
+    assert_eq!(
+        injected,
+        ledger(&r),
+        "every injection must land in exactly one bucket \
+         (recovered {}, degraded {}, reported {})",
+        r.accum.recovered_events,
+        r.accum.degraded_events,
+        r.accum.poisoned
+    );
+    // At 25% the fleet must exhibit the full degraded-outcome ladder.
+    assert!(r.accum.poisoned > 0, "some devices must be poisoned");
+    assert!(r.accum.degraded_events > 0, "some sessions must degrade");
+    // Poisoned devices still count toward the fleet total.
+    let a = &r.accum;
+    assert_eq!(
+        a.healthy + a.detected + a.escaped + a.censored + a.poisoned,
+        a.devices
+    );
+}
+
+#[test]
+fn ledger_is_exact_at_rate_1000() {
+    let _gate = GATE.lock().expect("gate");
+    let (r, injected) = armed_run(1_000, 1_000);
+    // Rate 1000 fires on every roll: the first roll of every device is
+    // `fleet.device_fault`, so the whole fleet is poisoned after exactly
+    // one injection each, and no session ever runs.
+    assert_eq!(r.accum.poisoned, 1_000);
+    assert_eq!(injected, 1_000);
+    assert_eq!(injected, ledger(&r));
+    assert_eq!(r.accum.sessions, 0);
+    assert_eq!(r.accum.degraded_events, 0);
+    assert_eq!(r.accum.recovered_events, 0);
+}
+
+#[test]
+fn chaos_outcomes_replay_deterministically() {
+    let _gate = GATE.lock().expect("gate");
+    let (a, ia) = armed_run(250, 1_500);
+    let (b, ib) = armed_run(250, 1_500);
+    assert_eq!(ia, ib, "same chaos seed must inject identically");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "chaos runs must replay byte-identically"
+    );
+}

@@ -1,0 +1,124 @@
+//! Property tests for the scheduler/window math over randomized
+//! onset/progression populations.
+//!
+//! Two properties carry the fleet's correctness argument:
+//!
+//! 1. **In-window sufficiency.** A device tested at an interval no wider
+//!    than its detection window is never an escape, provided its site is
+//!    covered whenever the window is open. The slack-ideal profile makes
+//!    coverage coincide with the window by construction, so any escape
+//!    would be a scheduler-math bug.
+//! 2. **Monotonicity.** Shrinking every device's interval (a power-of-two
+//!    divisor of the scale, which nests the session grids bit-exactly)
+//!    never increases the escape count.
+
+use obd_core::faultmodel::Polarity;
+use obd_fleet::{run_fleet, BistProfile, FleetConfig, FleetModel, SchedulePolicy};
+
+fn population(seed: u64, devices: u64) -> FleetConfig {
+    FleetConfig {
+        seed,
+        devices,
+        threads: 1,
+        horizon_hours: 2_000.0,
+        model: FleetModel {
+            p_defect: 1.0, // every device is a window test case
+            onset_min_frac: 0.0,
+            onset_max_frac: 0.9,
+            dur_min_hours: 5.0,
+            dur_max_hours: 80.0,
+        },
+        policy: SchedulePolicy {
+            opportunities: 1, // interval == window length exactly
+            min_interval_hours: 1e-6,
+            max_interval_hours: 1e6,
+            ..SchedulePolicy::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn interval_at_window_width_never_escapes() {
+    for (seed, polarity) in [
+        (11, Polarity::Nmos),
+        (12, Polarity::Pmos),
+        (13, Polarity::Nmos),
+    ] {
+        let cfg = population(seed, 5_000);
+        let profile = BistProfile::slack_ideal(&cfg.table, polarity, cfg.slack_ps);
+        let r = run_fleet(&cfg, &profile).expect("fleet");
+        assert!(r.accum.afflicted > 0, "population must be afflicted");
+        assert_eq!(
+            r.accum.escaped, 0,
+            "{polarity}: interval == window width must never escape \
+             (afflicted {}, detected {}, censored {})",
+            r.accum.afflicted, r.accum.detected, r.accum.censored
+        );
+        // Everything not detected must be censored (window still open at
+        // the horizon), never escaped.
+        assert_eq!(r.accum.afflicted, r.accum.detected + r.accum.censored);
+    }
+}
+
+#[test]
+fn interval_below_window_width_never_escapes_either() {
+    // Sufficiency must hold a fortiori for any tighter schedule.
+    for scale in [0.5, 0.25, 0.75] {
+        let mut cfg = population(21, 3_000);
+        cfg.policy.interval_scale = scale;
+        let profile = BistProfile::slack_ideal(&cfg.table, Polarity::Nmos, cfg.slack_ps);
+        let r = run_fleet(&cfg, &profile).expect("fleet");
+        assert_eq!(r.accum.escaped, 0, "scale {scale} must never escape");
+    }
+}
+
+#[test]
+fn shrinking_the_interval_never_adds_escapes() {
+    // Under-tested fleets (interval_scale > 1) escape; halving the scale
+    // repeatedly must drive escapes monotonically toward zero. The c17
+    // graded profile (real coverage gaps) makes this the production
+    // regime, and power-of-two divisors nest the grids bit-exactly.
+    let nl = obd_logic::circuits::c17();
+    let tests =
+        obd_atpg::bist::phased_lfsr_two_pattern_tests(nl.inputs().len(), 48, 16, 0x0BD_B157);
+    for (seed, base_scale) in [(31u64, 6.4), (32, 3.2), (33, 12.8)] {
+        let mut prev_escapes = None;
+        let mut scale = base_scale;
+        for _ in 0..4 {
+            let mut cfg = population(seed, 4_000);
+            cfg.policy.interval_scale = scale;
+            let profile = BistProfile::grade(&nl, "c17", &tests, &cfg.table, cfg.slack_ps)
+                .expect("grading c17");
+            let r = run_fleet(&cfg, &profile).expect("fleet");
+            if let Some(prev) = prev_escapes {
+                assert!(
+                    r.accum.escaped <= prev,
+                    "seed {seed}: halving the interval (scale {scale}) raised \
+                     escapes {prev} -> {}",
+                    r.accum.escaped
+                );
+            }
+            prev_escapes = Some(r.accum.escaped);
+            scale /= 2.0;
+        }
+        assert!(
+            prev_escapes.unwrap_or(1) < 4_000,
+            "tightest schedule should detect most devices"
+        );
+    }
+}
+
+#[test]
+fn overstretched_interval_produces_escapes() {
+    // Sanity for the suite itself: the never-escape properties above are
+    // only meaningful if escapes are reachable at all.
+    let mut cfg = population(41, 4_000);
+    cfg.policy.interval_scale = 8.0; // far wider than the window
+    let profile = BistProfile::slack_ideal(&cfg.table, Polarity::Nmos, cfg.slack_ps);
+    let r = run_fleet(&cfg, &profile).expect("fleet");
+    assert!(
+        r.accum.escaped > 0,
+        "an 8x-overstretched schedule must leak escapes"
+    );
+}

@@ -29,15 +29,20 @@ counters = snap["counters"]
 for key in ("spice.newton_iterations", "linalg.lu_factorizations",
             "logic.soa_gates_simulated"):
     assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
+for key in ("fleet.devices_simulated", "fleet.bist_sessions", "fleet.detections"):
+    assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
 gauges = snap["gauges"]
 assert gauges.get("logic.levels", 0) > 0, f"levelized netlist depth not published: {gauges}"
 assert gauges.get("atpg.superlane_width", 0) >= 1, f"super-lane width not published: {gauges}"
+assert "fleet.escape_rate" in gauges, f"fleet escape rate not published: {gauges}"
+assert "fleet.detection_latency_mh" in snap["histograms"], "fleet latency histogram missing"
 print(
     "METRICS_run.json ok:",
     f"newton_iterations={counters['spice.newton_iterations']}",
     f"lu_factorizations={counters['linalg.lu_factorizations']}",
     f"soa_gates_simulated={counters['logic.soa_gates_simulated']}",
     f"superlane_width={gauges['atpg.superlane_width']:.0f}",
+    f"fleet_devices={counters['fleet.devices_simulated']}",
 )
 EOF
 
@@ -55,7 +60,8 @@ assert run["accounted"], "chaos accounting did not balance"
 assert run["injected_total"] >= 200, f"too few injections: {run['injected_total']}"
 assert run["recovered_total"] > 0, "no injection was recovered"
 layers = {l["layer"] for l in run["layers"] if l["injected"] > 0}
-assert layers == {"linalg", "spice", "core", "atpg"}, f"layers missing injections: {layers}"
+assert layers == {"linalg", "spice", "core", "atpg", "fleet"}, \
+    f"layers missing injections: {layers}"
 print(
     "CHAOS_run.json ok:",
     f"injected={run['injected_total']}",
@@ -114,6 +120,50 @@ print(
     f"superlane={sl['speedup']:.1f}x on {sl['gates']} gates",
     f"parallel={largest['parallel_speedup']:.1f}x on {bench['threads']} threads",
     "bit_exact=true",
+)
+EOF
+
+# Smoke the fleet workload end to end. First the determinism contract at
+# a reduced fleet size: the same seed must produce byte-identical
+# FLEET_run.json across thread counts. Then the full production run —
+# >= 1,000,000 devices, zero panics (set -e catches a nonzero exit),
+# finite escape rate and latency percentiles — left last so the
+# committed artifact is the million-device one.
+OBD_FLEET_SEED=0x0BDF1EE7 OBD_FLEET_DEVICES=50021 OBD_FLEET_THREADS=1 \
+    ./target/release/repro fleet
+mv results/FLEET_run.json results/FLEET_run.t1.json
+OBD_FLEET_SEED=0x0BDF1EE7 OBD_FLEET_DEVICES=50021 OBD_FLEET_THREADS=4 \
+    ./target/release/repro fleet
+cmp results/FLEET_run.t1.json results/FLEET_run.json \
+    || { echo "FLEET_run.json differs between 1 and 4 threads"; exit 1; }
+rm results/FLEET_run.t1.json
+echo "fleet determinism ok: 1-thread and 4-thread artifacts are byte-identical"
+./target/release/repro fleet
+python3 - <<'EOF'
+import json, math
+
+with open("results/FLEET_run.json") as f:
+    run = json.load(f)
+assert run["devices"] >= 1_000_000, f"fleet below scale: {run['devices']}"
+assert run["devices_simulated"] == run["devices"], "devices lost in flight"
+assert run["poisoned"] == 0, f"chaos disarmed yet devices poisoned: {run['poisoned']}"
+assert run["healthy"] + run["afflicted"] == run["devices"], "fate partition broken"
+assert run["detected"] + run["escapes"] + run["censored"] == run["afflicted"], \
+    "afflicted partition broken"
+assert math.isfinite(run["escape_rate"]) and 0.0 <= run["escape_rate"] <= 1.0, \
+    f"escape_rate not a probability: {run['escape_rate']}"
+assert run["tests_per_device"] > 0, "no BIST sessions ran"
+lat = run["detection_latency_hours"]
+for key in ("p50", "p95", "p99"):
+    assert math.isfinite(lat[key]) and lat[key] >= 0, f"latency {key} bad: {lat[key]}"
+assert lat["p50"] <= lat["p95"] <= lat["p99"], f"percentiles out of order: {lat}"
+assert lat["count"] == run["detected"], "latency count != detections"
+print(
+    "FLEET_run.json ok:",
+    f"devices={run['devices']}",
+    f"escape_rate={run['escape_rate']:.4f}",
+    f"tests_per_device={run['tests_per_device']:.1f}",
+    f"latency_p50={lat['p50']:.2f}h p95={lat['p95']:.2f}h p99={lat['p99']:.2f}h",
 )
 EOF
 
