@@ -41,6 +41,7 @@ use obd_logic::netlist::{GateId, GateKind, NetId};
 use obd_logic::value::Lv;
 use obd_logic::wide::{LaneWord, WideBlock};
 use obd_metrics::{Counter, Gauge};
+use obd_store::{Digest, Store};
 
 use crate::fault::{Fault, SlowTo, TwoPatternTest};
 use crate::faultsim::{stuck_output_value, FaultSimulator, GradeOutcome};
@@ -60,6 +61,10 @@ static FAULTS_DROPPED: Counter = Counter::new("atpg.faults_dropped");
 /// Super-lane width (64-bit lanes per packed word) of the most recently
 /// prepared engine.
 static SUPERLANE_WIDTH_GAUGE: Gauge = Gauge::new("atpg.superlane_width");
+/// Good-response blocks served from the persistent store (no simulation).
+static GOOD_STORE_HITS: Counter = Counter::new("atpg.good_store_hits");
+/// Good-response blocks simulated and written back to the store.
+static GOOD_STORE_MISSES: Counter = Counter::new("atpg.good_store_misses");
 
 /// One packed block of fully-specified tests with its cached
 /// good-machine responses for both frames.
@@ -140,6 +145,11 @@ pub struct PpsfpEngine<'a, 's, const N: usize = SUPERLANE_WIDTH> {
     /// Cells by (kind, arity), with their leaf lists resolved once so
     /// fault planning is allocation-free (`SpNet::leaves` allocates).
     cells: Vec<CellEntry>,
+    /// Good-response blocks served from the persistent store at prepare
+    /// time (zero when persistence is disarmed).
+    store_hits: u64,
+    /// Good-response blocks simulated fresh and written back.
+    store_misses: u64,
 }
 
 /// A cached cell with its transistor leaf lists (pin per leaf, in
@@ -234,7 +244,9 @@ impl<'a, 's, const N: usize> PpsfpEngine<'a, 's, N> {
                 touched: AtomicBool::new(false),
             });
         }
-        Self::fill_good_responses(sim, &mut blocks, threads)?;
+        let store = obd_store::global();
+        let (store_hits, store_misses) =
+            Self::fill_good_responses(sim, &mut blocks, threads, store.as_deref())?;
         let mut cells: Vec<CellEntry> = Vec::new();
         for g in sim.nl.gate_ids() {
             let gate = sim.nl.gate(g);
@@ -257,24 +269,123 @@ impl<'a, 's, const N: usize> PpsfpEngine<'a, 's, N> {
             blocks,
             scalar_tests,
             cells,
+            store_hits,
+            store_misses,
         })
+    }
+
+    /// Content address of one block's good-machine response: the exact
+    /// circuit structure plus the exact packed frames, under a versioned
+    /// domain. Any change to the netlist, the lane width, or any test
+    /// bit produces a different digest.
+    fn block_digest(soa_fingerprint: u64, num_nets: usize, blk: &GoodBlock<N>) -> u64 {
+        let mut d = Digest::new("atpg.goodresp.v1")
+            .u64(soa_fingerprint)
+            .u64(N as u64)
+            .u64(num_nets as u64)
+            .u64(blk.frame1.num_inputs() as u64)
+            .u64(blk.frame1.len() as u64);
+        for frame in [&blk.frame1, &blk.frame2] {
+            for i in 0..frame.num_inputs() {
+                let w = frame.word(i);
+                for lane in 0..N {
+                    d = d.u64(w.lane(lane));
+                }
+            }
+        }
+        d.finish()
+    }
+
+    /// Serializes a block's `g1 ++ g2` response words as raw LE `u64`
+    /// lanes: `2 * num_nets * N * 8` bytes exactly.
+    fn encode_good(blk: &GoodBlock<N>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 * blk.g1.len() * N * 8);
+        for words in [&blk.g1, &blk.g2] {
+            for w in words {
+                for lane in 0..N {
+                    out.extend_from_slice(&w.lane(lane).to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Strict inverse of [`Self::encode_good`]; `None` (a miss) on any
+    /// payload whose length does not match this circuit exactly.
+    fn decode_good(bytes: &[u8], num_nets: usize) -> Option<(Vec<LaneWord<N>>, Vec<LaneWord<N>>)> {
+        if bytes.len() != 2 * num_nets * N * 8 {
+            return None;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        let mut read_words = |count: usize| -> Vec<LaneWord<N>> {
+            (0..count)
+                .map(|_| {
+                    let mut lanes = [0u64; N];
+                    for lane in lanes.iter_mut() {
+                        let bits: [u8; 8] = chunks
+                            .next()
+                            .and_then(|c| c.try_into().ok())
+                            .unwrap_or_default();
+                        *lane = u64::from_le_bytes(bits);
+                    }
+                    LaneWord(lanes)
+                })
+                .collect()
+        };
+        let g1 = read_words(num_nets);
+        let g2 = read_words(num_nets);
+        Some((g1, g2))
     }
 
     /// Simulates the good machine into every block's frame caches,
     /// splitting the blocks across workers when asked for more than one.
+    /// When a persistent `store` is armed, each block first probes it by
+    /// content digest (netlist structure + exact packed frames) — a hit
+    /// skips both good sims — and fresh responses are written back.
+    /// Returns `(store_hits, store_misses)`.
     fn fill_good_responses(
         sim: &FaultSimulator<'a>,
         blocks: &mut [GoodBlock<N>],
         threads: usize,
-    ) -> Result<(), AtpgError> {
+        store: Option<&Store>,
+    ) -> Result<(u64, u64), AtpgError> {
+        let num_nets = sim.soa.num_nets();
+        let soa_fp = sim.soa.fingerprint();
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let (hits_ref, misses_ref) = (&hits, &misses);
         let fill = |blk: &mut GoodBlock<N>| -> Result<(), AtpgError> {
+            let digest = store.map(|_| Self::block_digest(soa_fp, num_nets, blk));
+            if let (Some(store), Some(digest)) = (store, digest) {
+                // Store errors (corruption, I/O) degrade to a miss: the
+                // good sims below recompute the exact same response.
+                if let Some((g1, g2)) = store
+                    .get(digest)
+                    .ok()
+                    .flatten()
+                    .as_deref()
+                    .and_then(|b| Self::decode_good(b, num_nets))
+                {
+                    blk.g1 = g1;
+                    blk.g2 = g2;
+                    hits_ref.fetch_add(1, Ordering::Relaxed);
+                    GOOD_STORE_HITS.inc();
+                    return Ok(());
+                }
+            }
             sim.soa.simulate_wide_into(&blk.frame1, &mut blk.g1)?;
             sim.soa.simulate_wide_into(&blk.frame2, &mut blk.g2)?;
+            if let (Some(store), Some(digest)) = (store, digest) {
+                misses_ref.fetch_add(1, Ordering::Relaxed);
+                GOOD_STORE_MISSES.inc();
+                let _ = store.put(digest, &Self::encode_good(blk));
+            }
             Ok(())
         };
         let threads = threads.max(1).min(blocks.len().max(1));
         if threads <= 1 {
-            return blocks.iter_mut().try_for_each(fill);
+            blocks.iter_mut().try_for_each(fill)?;
+            return Ok((hits.load(Ordering::Relaxed), misses.load(Ordering::Relaxed)));
         }
         let first_error: Mutex<Option<AtpgError>> = Mutex::new(None);
         let per_worker = blocks.len().div_ceil(threads);
@@ -300,7 +411,7 @@ impl<'a, 's, const N: usize> PpsfpEngine<'a, 's, N> {
             .take();
         match taken {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => Ok((hits.load(Ordering::Relaxed), misses.load(Ordering::Relaxed))),
         }
     }
 
@@ -317,6 +428,18 @@ impl<'a, 's, const N: usize> PpsfpEngine<'a, 's, N> {
     /// Number of X-bearing tests graded via the scalar fallback.
     pub fn scalar_fallback_tests(&self) -> usize {
         self.scalar_tests.len()
+    }
+
+    /// Good-response blocks served from the persistent store at prepare
+    /// time (zero when persistence is disarmed).
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits
+    }
+
+    /// Good-response blocks simulated fresh (and written back when a
+    /// store is armed).
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses
     }
 
     fn cell(&self, kind: GateKind, arity: usize) -> Option<&CellEntry> {

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper as text/CSV artifacts.
 //!
 //! ```text
-//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg|fleet|chaos]
+//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg|fleet|chaos|serve]
 //! ```
 //!
 //! Artifacts are written to `results/` in the current directory; a summary
@@ -12,8 +12,8 @@ use std::path::Path;
 
 use obd_bench::experiments::{
     atpg_bench, bist_eval, chaos, clock_sweep, em_contrast, excitation, fig4, fig9, fleet, iddq,
-    metrics_run, scaling, scan_eval, spice_bench, stats, table1, tpg_compare, variation, waveforms,
-    window,
+    metrics_run, scaling, scan_eval, serve, spice_bench, stats, table1, tpg_compare, variation,
+    waveforms, window,
 };
 use obd_cmos::TechParams;
 use obd_core::characterize::{BenchConfig, DelayTable};
@@ -354,6 +354,54 @@ fn run_fleet() {
     }
 }
 
+fn run_serve(batch_path: Option<&str>) {
+    println!("== Serve: batch job queue over the persistent store (SERVE_run.json) ==");
+    // Persistence defaults ON for serving (results/store), overridable
+    // via OBD_STORE_DIR; an unopenable dir degrades to a cold batch.
+    let store = obd_store::set_global_dir("results/store");
+    match &store {
+        Some(s) => println!("  store: {} ({} records)", s.path().display(), s.len()),
+        None => println!("  store: disabled (cold batch)"),
+    }
+    let text = match batch_path {
+        Some(path) => match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("  SERVE FAILED: cannot read batch file {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            use std::io::Read;
+            let mut t = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut t) {
+                eprintln!("  SERVE FAILED: cannot read batch from stdin: {e}");
+                std::process::exit(1);
+            }
+            t
+        }
+    };
+    let jobs = serve::parse_batch(&text);
+    if jobs.is_empty() {
+        eprintln!("  SERVE FAILED: batch is empty (expected one JSON object per line)");
+        std::process::exit(1);
+    }
+    let threads = std::env::var("OBD_SERVE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let report = serve::run_batch(&jobs, threads);
+    print!("{}", report.render());
+    for path in serve::write_artifacts(&report, Path::new("results/serve")) {
+        println!("  wrote {}", path.display());
+    }
+    save("SERVE_run.json", &report.to_json());
+    if !report.clean() {
+        eprintln!("  SERVE FAILED: a worker panicked");
+        std::process::exit(1);
+    }
+}
+
 fn run_scaling() {
     println!("== E9: ATPG complexity scaling ==");
     match scaling::run(&[2, 4, 8, 16, 24], &[8, 16, 32]) {
@@ -439,6 +487,11 @@ fn main() {
     if arg == "chaos" {
         run_chaos();
     }
+    // Serve stays out of `all` too: it arms the process-global store and
+    // consumes a job queue rather than producing a fixed paper artifact.
+    if arg == "serve" {
+        run_serve(std::env::args().nth(2).as_deref());
+    }
     if !all
         && ![
             "excitation",
@@ -461,11 +514,12 @@ fn main() {
             "bench-atpg",
             "fleet",
             "chaos",
+            "serve",
         ]
         .contains(&arg.as_str())
     {
         eprintln!(
-            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, fleet, chaos"
+            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, fleet, chaos, serve"
         );
         std::process::exit(2);
     }

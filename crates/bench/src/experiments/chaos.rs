@@ -1,6 +1,7 @@
 //! `repro chaos`: seeded fault-injection campaigns across the solver
 //! stack (`obd-linalg`, `obd-spice`, `obd-core`, `obd-atpg`,
-//! `obd-fleet`), asserting the panic-free contract end to end.
+//! `obd-fleet`, `obd-store`), asserting the panic-free contract end to
+//! end.
 //!
 //! Every operation runs under `catch_unwind` with chaos armed at a
 //! layer-specific rate. The injection counter is read before and after
@@ -404,6 +405,85 @@ fn run_fleet_layer(seed: u64, devices: u64) -> (LayerReport, obd_chaos::ChaosSna
     (rep, snap)
 }
 
+/// The persistence layer: puts and gets against a throwaway store with
+/// `store.write_torn` / `store.read_corrupt` armed hot. Attribution:
+///
+/// * a torn append surfaces as the typed [`StoreError::TornWrite`] —
+///   **reported** (the caller recomputes; the next put heals the tail);
+/// * a flipped payload bit surfaces as [`StoreError::Corrupt`] and drops
+///   the record, so a caching caller sees a plain miss afterwards —
+///   **degraded** (both the error and the later `Ok(None)` land here);
+/// * a flip injected into an *empty* payload has nothing to touch and
+///   the read stays clean — **recovered**.
+fn run_store_layer(seed: u64, ops: u64) -> (LayerReport, obd_chaos::ChaosSnapshot) {
+    use obd_store::{Digest, Store, StoreError};
+
+    let rate = 500;
+    let mut rep = LayerReport::new("store", rate);
+    let dir = std::env::temp_dir().join(format!("obd-chaos-store-{}-{seed:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = match Store::open(&dir) {
+        Ok(s) => s,
+        Err(_) => {
+            // No usable temp dir: an empty, trivially accounted layer.
+            obd_chaos::arm(seed ^ 0x6666_6666, rate);
+            let snap = obd_chaos::snapshot();
+            obd_chaos::disarm();
+            return (rep, snap);
+        }
+    };
+    let key = |i: u64| Digest::new("chaos.store").u64(i).finish();
+    // Committed records to read back under fire; every fourth payload is
+    // empty so some injected flips land harmlessly.
+    for i in 0..16u64 {
+        let payload = if i % 4 == 3 {
+            Vec::new()
+        } else {
+            vec![i as u8; 64 + (i as usize * 13) % 200]
+        };
+        let _ = store.put(key(i), &payload);
+    }
+    obd_chaos::arm(seed ^ 0x6666_6666, rate);
+    let mut fresh = 1_000u64;
+    for op in 0..ops {
+        match op % 3 {
+            0 => {
+                let k = key(fresh);
+                fresh += 1;
+                rep.account(|| match store.put(k, b"chaos payload") {
+                    Ok(()) => OpOutcome::Clean,
+                    // TornWrite and any other I/O failure alike: a typed
+                    // error the caller sees and recomputes around.
+                    Err(_) => OpOutcome::Reported,
+                });
+            }
+            1 => {
+                // Non-empty committed records: a flip is caught by the
+                // checksum and the record is dropped to a miss.
+                let k = key(1 + (op % 2) * 4); // keys 1 and 5: never empty
+                rep.account(|| match store.get(k) {
+                    Ok(Some(_)) => OpOutcome::Clean,
+                    Ok(None) => OpOutcome::Degraded,
+                    Err(StoreError::Corrupt { .. }) => OpOutcome::Degraded,
+                    Err(_) => OpOutcome::Reported,
+                });
+            }
+            _ => {
+                let k = key(3 + 4 * (op % 4)); // keys 3, 7, 11, 15: empty
+                rep.account(|| match store.get(k) {
+                    Ok(_) => OpOutcome::Clean,
+                    Err(StoreError::Corrupt { .. }) => OpOutcome::Degraded,
+                    Err(_) => OpOutcome::Reported,
+                });
+            }
+        }
+    }
+    let snap = obd_chaos::snapshot();
+    obd_chaos::disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+    (rep, snap)
+}
+
 /// Runs the full campaign at the given seed with per-layer op counts
 /// scaled by `scale` (1 = the `repro chaos` defaults, which inject well
 /// over 200 faults; tests use a smaller scale).
@@ -417,6 +497,7 @@ pub fn run_with_scale(seed: u64, scale: u64) -> ChaosReport {
         run_core_layer(seed, scale.div_ceil(4)),
         run_atpg_layer(seed, 4 * scale),
         run_fleet_layer(seed, 500 * scale),
+        run_store_layer(seed, 120 * scale),
     ] {
         merge_points(&mut points, &snap);
         layers.push(rep);

@@ -9,7 +9,8 @@
 
 use obd_atpg::bist::phased_lfsr_two_pattern_tests;
 use obd_fleet::{run_fleet, BistProfile, FleetConfig, FleetReport};
-use obd_logic::circuits::c17;
+use obd_logic::circuits::{array_multiplier, c17, carry_select_adder, ripple_carry_adder};
+use obd_logic::Netlist;
 
 /// Default BIST pattern-set size: enough phased two-pattern tests for
 /// c17 to cover every site somewhere in the ladder while keeping a
@@ -48,15 +49,46 @@ pub fn config_from_env() -> FleetConfig {
     cfg
 }
 
-/// Grades the default c17 BIST profile at the config's slack.
+/// Fleet circuits selectable by name (`OBD_FLEET_CIRCUIT` or a serve
+/// job's `circuit` field).
 ///
 /// # Errors
 ///
-/// Propagates grading failures as strings (the repro CLI prints them).
-pub fn default_profile(cfg: &FleetConfig) -> Result<BistProfile, String> {
-    let nl = c17();
+/// An explanatory string naming the valid choices on an unknown name.
+pub fn netlist_by_name(name: &str) -> Result<Netlist, String> {
+    match name {
+        "c17" => Ok(c17()),
+        "rca32" => Ok(ripple_carry_adder(32)),
+        "csa32" => Ok(carry_select_adder(32, 8)),
+        "mult16" => Ok(array_multiplier(16)),
+        other => Err(format!(
+            "unknown circuit '{other}' (expected c17, rca32, csa32 or mult16)"
+        )),
+    }
+}
+
+/// Grades the BIST profile for the named circuit at the config's slack:
+/// a phased-LFSR two-pattern set sized to the circuit's input count.
+///
+/// # Errors
+///
+/// Unknown circuit names and grading failures as strings.
+pub fn profile_for_circuit(cfg: &FleetConfig, name: &str) -> Result<BistProfile, String> {
+    let nl = netlist_by_name(name)?;
     let tests = phased_lfsr_two_pattern_tests(nl.inputs().len(), DEFAULT_BIST_TESTS, 16, BIST_SEED);
-    BistProfile::grade(&nl, "c17", &tests, &cfg.table, cfg.slack_ps).map_err(|e| e.to_string())
+    BistProfile::grade(&nl, name, &tests, &cfg.table, cfg.slack_ps).map_err(|e| e.to_string())
+}
+
+/// Grades the verb's BIST profile: c17 by default, or the circuit named
+/// by `OBD_FLEET_CIRCUIT` (c17, rca32, csa32, mult16).
+///
+/// # Errors
+///
+/// Propagates grading failures as strings (the repro CLI prints them);
+/// an unknown `OBD_FLEET_CIRCUIT` is an error, not a silent fallback.
+pub fn default_profile(cfg: &FleetConfig) -> Result<BistProfile, String> {
+    let name = std::env::var("OBD_FLEET_CIRCUIT").unwrap_or_else(|_| "c17".to_string());
+    profile_for_circuit(cfg, &name)
 }
 
 /// Runs the full fleet workload for the `repro fleet` verb.
@@ -109,6 +141,20 @@ mod tests {
             p.sites(),
             "default BIST set leaves sites permanently invisible"
         );
+    }
+
+    #[test]
+    fn circuit_override_selects_real_netlists() {
+        let cfg = FleetConfig::default();
+        for name in ["c17", "rca32", "csa32", "mult16"] {
+            let nl = netlist_by_name(name).unwrap();
+            assert!(!nl.inputs().is_empty(), "{name} must have inputs");
+        }
+        assert!(netlist_by_name("c18").is_err());
+        // A non-default circuit grades into a usable profile.
+        let p = profile_for_circuit(&cfg, "rca32").unwrap();
+        assert!(p.sites() > 0);
+        assert_eq!(p.tests(), DEFAULT_BIST_TESTS);
     }
 
     #[test]

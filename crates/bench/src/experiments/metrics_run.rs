@@ -29,6 +29,8 @@ pub struct MetricsRunReport {
     pub atpg_detected: usize,
     /// Devices simulated by the mini fleet flow.
     pub fleet_devices: u64,
+    /// Jobs drained by the mini serve batch.
+    pub serve_jobs: usize,
 }
 
 /// Runs the Table 1 + ATPG flows with metrics on.
@@ -57,6 +59,31 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
     let _ =
         DelayTable::from_characterization_cached(tech, cfg, &cache).map_err(|e| e.to_string())?;
 
+    // Persistent-store round trip: two persistent caches sharing one
+    // throwaway on-disk store. The first pass populates it (store.puts),
+    // the second — with a cold memory map — is served entirely from disk,
+    // which drives core.delay_store_hits and store.hits above zero.
+    let store_dir = std::env::temp_dir().join(format!("obd-metrics-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = std::sync::Arc::new(obd_store::Store::open(&store_dir).map_err(|e| e.to_string())?);
+    let cold = DelayCache::persistent(std::sync::Arc::clone(&store));
+    let _ =
+        DelayTable::from_characterization_cached(tech, cfg, &cold).map_err(|e| e.to_string())?;
+    let warm = DelayCache::persistent(store);
+    let _ =
+        DelayTable::from_characterization_cached(tech, cfg, &warm).map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Mini serve batch: one real grade job plus a poisoned one, a single
+    // worker — enough to drive the serve.* counters, the workers gauge,
+    // and the job-wall-time histogram without writing any artifacts.
+    let batch = concat!(
+        "{\"id\": \"m-grade\", \"kind\": \"grade\", \"circuit\": \"c17\", \"tests\": 16, \"seed\": 9}\n",
+        "{\"id\": \"m-poison\", \"kind\": \"grade\", \"circuit\": \"no-such-circuit\"}\n",
+    );
+    let serve_jobs = crate::experiments::serve::parse_batch(batch);
+    let serve = crate::experiments::serve::run_batch(&serve_jobs, 1);
+
     // ATPG flow on the paper's Fig. 8 sum circuit: PODEM generation plus
     // fault-simulation grading of the generated set.
     let nl = fig8_sum_circuit();
@@ -79,6 +106,7 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
         atpg_faults: faults.len(),
         atpg_detected: detected.iter().filter(|&&d| d).count(),
         fleet_devices: fleet.accum.devices,
+        serve_jobs: serve.jobs.len(),
     })
 }
 
@@ -86,8 +114,8 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
 pub fn render(r: &MetricsRunReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "observability run: {} Table 1 rows, {} OBD faults ({} detected), {} fleet devices\n",
-        r.table1_rows, r.atpg_faults, r.atpg_detected, r.fleet_devices
+        "observability run: {} Table 1 rows, {} OBD faults ({} detected), {} fleet devices, {} serve jobs\n",
+        r.table1_rows, r.atpg_faults, r.atpg_detected, r.fleet_devices, r.serve_jobs
     ));
     let key_counters = [
         "spice.newton_iterations",
@@ -97,6 +125,8 @@ pub fn render(r: &MetricsRunReport) -> String {
         "linalg.memo_solve_hits",
         "core.delay_cache_hits",
         "core.delay_cache_misses",
+        "core.delay_store_hits",
+        "core.delay_store_misses",
         "core.window_escalations",
         "atpg.podem_runs",
         "atpg.podem_backtracks",
@@ -109,6 +139,11 @@ pub fn render(r: &MetricsRunReport) -> String {
         "fleet.bist_sessions",
         "fleet.detections",
         "fleet.escapes",
+        "store.hits",
+        "store.misses",
+        "store.puts",
+        "serve.jobs_done",
+        "serve.jobs_degraded",
     ];
     for name in key_counters {
         let v = r.snapshot.counter(name).unwrap_or(0);
@@ -135,6 +170,11 @@ mod tests {
             "fleet.devices_simulated",
             "fleet.bist_sessions",
             "fleet.detections",
+            "core.delay_store_hits",
+            "store.hits",
+            "store.puts",
+            "serve.jobs_done",
+            "serve.jobs_degraded",
         ] {
             assert!(
                 r.snapshot.counter(name).unwrap_or(0) > 0,
@@ -143,6 +183,7 @@ mod tests {
         }
         assert!(r.table1_rows > 0);
         assert!(r.atpg_faults > 0);
+        assert_eq!(r.serve_jobs, 2);
         let json = r.snapshot.to_json();
         assert!(json.contains("spice.newton_iterations"));
     }

@@ -13,6 +13,7 @@ pub mod iddq;
 pub mod metrics_run;
 pub mod scaling;
 pub mod scan_eval;
+pub mod serve;
 pub mod spice_bench;
 pub mod stats;
 pub mod table1;

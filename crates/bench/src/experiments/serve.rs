@@ -1,0 +1,780 @@
+//! `repro serve`: a batch front-end over the persistent result store.
+//!
+//! Drains a JSONL job queue (one flat JSON object per line, from a file
+//! or stdin) across sharded worker threads. Three job kinds cover the
+//! repo's workloads:
+//!
+//! ```text
+//! {"id": "t1", "kind": "table1", "resolution": "fast"}
+//! {"id": "g1", "kind": "grade", "circuit": "c17", "tests": 64, "seed": 7}
+//! {"id": "f1", "kind": "fleet", "circuit": "rca32", "devices": 2000, "seed": 9}
+//! ```
+//!
+//! Every job lands in a terminal state: `done`, `degraded` (bad syntax,
+//! unknown kind/circuit, or a typed engine error — the queue keeps
+//! draining), or `panicked` (caught, never propagated to the other
+//! workers). Characterization and grading jobs run against the
+//! process-wide store ([`obd_store::global`]), so a repeated batch is
+//! served from disk; per-job `store_hits`/`store_misses` come from the
+//! exact engine-side counters, not a racy global delta. The run report
+//! is written to `results/SERVE_run.json` by the CLI.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use obd_atpg::fault::{obd_faults, stuck_at_faults, transition_faults};
+use obd_atpg::faultsim::FaultSimulator;
+use obd_atpg::ppsfp::{PpsfpEngine, SUPERLANE_WIDTH};
+use obd_cmos::TechParams;
+use obd_core::cache::DelayCache;
+use obd_core::characterize::{characterize_table1_cached, BenchConfig};
+use obd_core::BreakdownStage;
+use obd_fleet::{run_fleet, FleetConfig};
+use obd_metrics::{Counter, Gauge, Histogram};
+
+use super::fleet::{netlist_by_name, profile_for_circuit};
+use crate::quick_bench_config;
+
+/// Jobs that completed cleanly.
+static JOBS_DONE: Counter = Counter::new("serve.jobs_done");
+/// Jobs degraded by bad input or a typed engine error.
+static JOBS_DEGRADED: Counter = Counter::new("serve.jobs_degraded");
+/// Jobs whose worker panicked (caught; the batch keeps draining).
+static JOBS_PANICKED: Counter = Counter::new("serve.jobs_panicked");
+/// Worker threads of the most recent batch.
+static WORKERS: Gauge = Gauge::new("serve.workers");
+/// Per-job wall time in milliseconds.
+static JOB_WALL_MS: Histogram = Histogram::new(
+    "serve.job_wall_ms",
+    &[
+        1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000,
+    ],
+);
+
+/// One value of a flat JSON object: the serve queue needs nothing
+/// nested.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl JsonVal {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonVal::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"key": "str" | number | bool, ...}`).
+/// The grammar is deliberately tiny — nested values are a parse error —
+/// so a malformed line degrades its own job instead of the batch.
+fn parse_flat_json(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = Vec::new();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices>| {
+        while chars.next_if(|&(_, c)| c.is_whitespace()).is_some() {}
+    };
+    let parse_string =
+        |chars: &mut std::iter::Peekable<std::str::CharIndices>| -> Result<String, String> {
+            match chars.next() {
+                Some((_, '"')) => {}
+                other => return Err(format!("expected '\"', found {other:?}")),
+            }
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some((_, '"')) => return Ok(s),
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, 'n')) => s.push('\n'),
+                        Some((_, 't')) => s.push('\t'),
+                        Some((_, c @ ('"' | '\\' | '/'))) => s.push(c),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    },
+                    Some((_, c)) => s.push(c),
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        };
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected '{'".to_string()),
+    }
+    skip_ws(&mut chars);
+    if chars.next_if(|&(_, c)| c == '}').is_some() {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            other => return Err(format!("expected ':', found {other:?}")),
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek() {
+            Some(&(_, '"')) => JsonVal::Str(parse_string(&mut chars)?),
+            Some(&(start, c)) if c == 't' || c == 'f' => {
+                let rest = &line[start..];
+                if rest.starts_with("true") {
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                    JsonVal::Bool(true)
+                } else if rest.starts_with("false") {
+                    for _ in 0..5 {
+                        chars.next();
+                    }
+                    JsonVal::Bool(false)
+                } else {
+                    return Err(format!("bad literal at byte {start}"));
+                }
+            }
+            Some(&(start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start;
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        end = i + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &line[start..end];
+                JsonVal::Num(
+                    text.parse()
+                        .map_err(|e| format!("bad number '{text}': {e}"))?,
+                )
+            }
+            other => return Err(format!("unsupported value at {other:?}")),
+        };
+        fields.push((key, val));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(fields),
+        Some((i, c)) => Err(format!("trailing '{c}' at byte {i}")),
+    }
+}
+
+/// A parsed serve job. Parsing never fails the batch: a bad line
+/// becomes a job whose `spec` is the parse error, drained to `degraded`
+/// like any other poisoned work.
+#[derive(Debug)]
+pub struct Job {
+    /// Job identifier (the `id` field, or `job-<line>` when absent).
+    pub id: String,
+    /// What to run, or why the line could not be understood.
+    spec: Result<JobSpec, String>,
+}
+
+#[derive(Debug)]
+enum JobSpec {
+    /// Regenerate Table 1 through the persistent delay cache.
+    Table1 { paper: bool },
+    /// PPSFP-grade a named circuit under a phased-LFSR test set.
+    Grade {
+        circuit: String,
+        tests: usize,
+        seed: u64,
+        stage: BreakdownStage,
+    },
+    /// A small fleet simulation over a named circuit's BIST profile.
+    Fleet {
+        circuit: String,
+        devices: u64,
+        seed: u64,
+    },
+}
+
+impl JobSpec {
+    fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Table1 { .. } => "table1",
+            JobSpec::Grade { .. } => "grade",
+            JobSpec::Fleet { .. } => "fleet",
+        }
+    }
+}
+
+fn parse_stage(s: &str) -> Result<BreakdownStage, String> {
+    match s {
+        "sbd" => Ok(BreakdownStage::Sbd),
+        "mbd1" => Ok(BreakdownStage::Mbd1),
+        "mbd2" => Ok(BreakdownStage::Mbd2),
+        "mbd3" => Ok(BreakdownStage::Mbd3),
+        "hbd" => Ok(BreakdownStage::Hbd),
+        other => Err(format!(
+            "unknown stage '{other}' (expected sbd, mbd1, mbd2, mbd3 or hbd)"
+        )),
+    }
+}
+
+/// Parses one JSONL line into a job. `line_no` is 1-based, for default
+/// ids and error context.
+fn parse_job(line: &str, line_no: usize) -> Job {
+    let fields = match parse_flat_json(line) {
+        Ok(f) => f,
+        Err(e) => {
+            return Job {
+                id: format!("job-{line_no}"),
+                spec: Err(format!("line {line_no}: {e}")),
+            }
+        }
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let id = get("id")
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("job-{line_no}"));
+    let str_field = |key: &str, default: &str| -> Result<String, String> {
+        match get(key) {
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("field '{key}' must be a string")),
+            None => Ok(default.to_string()),
+        }
+    };
+    let u64_field = |key: &str, default: u64| -> Result<u64, String> {
+        match get(key) {
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+            None => Ok(default),
+        }
+    };
+    let spec = (|| -> Result<JobSpec, String> {
+        let kind = str_field("kind", "")?;
+        match kind.as_str() {
+            "table1" => {
+                let resolution = str_field("resolution", "fast")?;
+                match resolution.as_str() {
+                    "fast" => Ok(JobSpec::Table1 { paper: false }),
+                    "paper" => Ok(JobSpec::Table1 { paper: true }),
+                    other => Err(format!(
+                        "unknown resolution '{other}' (expected fast or paper)"
+                    )),
+                }
+            }
+            "grade" => Ok(JobSpec::Grade {
+                circuit: str_field("circuit", "c17")?,
+                tests: u64_field("tests", 64)?.clamp(1, 100_000) as usize,
+                seed: u64_field("seed", 0x0BD_B157)?,
+                stage: parse_stage(&str_field("stage", "mbd2")?)?,
+            }),
+            "fleet" => Ok(JobSpec::Fleet {
+                circuit: str_field("circuit", "c17")?,
+                devices: u64_field("devices", 2_000)?.max(1),
+                seed: u64_field("seed", 0x0BDF_1EE7)?,
+            }),
+            "" => Err("missing 'kind' field".to_string()),
+            other => Err(format!(
+                "unknown kind '{other}' (expected table1, grade or fleet)"
+            )),
+        }
+    })();
+    Job { id, spec }
+}
+
+/// Parses a whole JSONL batch (blank lines skipped).
+pub fn parse_batch(text: &str) -> Vec<Job> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_job(l, i + 1))
+        .collect()
+}
+
+/// Terminal state of one serve job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed; its artifact is valid.
+    Done,
+    /// Poisoned input or a typed engine error; no artifact.
+    Degraded,
+    /// The worker panicked mid-job (caught at the job boundary).
+    Panicked,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Degraded => "degraded",
+            JobStatus::Panicked => "panicked",
+        }
+    }
+}
+
+/// Outcome row of one job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Job identifier from the queue.
+    pub id: String,
+    /// Job kind (`table1`/`grade`/`fleet`), `unknown` for unparsable lines.
+    pub kind: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Wall-clock time spent on the job.
+    pub wall_ms: f64,
+    /// Persistent-store hits counted by the job's own engine.
+    pub store_hits: u64,
+    /// Persistent-store misses counted by the job's own engine.
+    pub store_misses: u64,
+    /// One-line outcome (coverage summary, table digest, or the error).
+    pub detail: String,
+    /// Artifact body for `done` jobs (written by the caller).
+    pub artifact: Option<String>,
+}
+
+/// What one job produced: its engine-level store traffic, a one-line
+/// summary, and the artifact body.
+struct JobOutput {
+    store_hits: u64,
+    store_misses: u64,
+    detail: String,
+    artifact: String,
+}
+
+fn run_table1(paper: bool) -> Result<JobOutput, String> {
+    let tech = TechParams::date05();
+    let cfg = if paper {
+        BenchConfig::table1()
+    } else {
+        quick_bench_config()
+    };
+    let cache = DelayCache::auto();
+    let table = characterize_table1_cached(&tech, &cfg, &cache).map_err(|e| e.to_string())?;
+    let rendered = table.render();
+    Ok(JobOutput {
+        store_hits: cache.store_hits(),
+        store_misses: cache.store_misses(),
+        detail: format!(
+            "{} rows, {} transients, {} from store",
+            table.rows.len(),
+            cache.misses(),
+            cache.store_hits()
+        ),
+        artifact: rendered,
+    })
+}
+
+fn run_grade(
+    circuit: &str,
+    tests: usize,
+    seed: u64,
+    stage: BreakdownStage,
+) -> Result<JobOutput, String> {
+    let nl = netlist_by_name(circuit)?;
+    let sim = FaultSimulator::new(&nl).map_err(|e| e.to_string())?;
+    let test_set =
+        obd_atpg::bist::phased_lfsr_two_pattern_tests(nl.inputs().len(), tests, 16, seed);
+    let mut faults = stuck_at_faults(&nl);
+    faults.extend(transition_faults(&nl));
+    faults.extend(obd_faults(&nl, stage, false));
+    let engine =
+        PpsfpEngine::<SUPERLANE_WIDTH>::prepare(&sim, &test_set).map_err(|e| e.to_string())?;
+    let detected = engine
+        .grade(&faults)
+        .map_err(|e| e.to_string())?
+        .iter()
+        .filter(|&&d| d)
+        .count();
+    let detail = format!(
+        "{circuit}: {detected}/{} faults detected by {} tests ({} blocks, {} from store)",
+        faults.len(),
+        test_set.len(),
+        engine.num_blocks(),
+        engine.store_hits()
+    );
+    let artifact = format!(
+        "circuit: {circuit}\nstage: {stage}\ntests: {}\nseed: {seed:#x}\nfaults: {}\ndetected: {detected}\ncoverage: {:.4}\n",
+        test_set.len(),
+        faults.len(),
+        detected as f64 / faults.len().max(1) as f64
+    );
+    Ok(JobOutput {
+        store_hits: engine.store_hits(),
+        store_misses: engine.store_misses(),
+        detail,
+        artifact,
+    })
+}
+
+fn run_fleet_job(circuit: &str, devices: u64, seed: u64) -> Result<JobOutput, String> {
+    let cfg = FleetConfig {
+        devices,
+        seed,
+        threads: 1,
+        ..FleetConfig::default()
+    };
+    let profile = profile_for_circuit(&cfg, circuit)?;
+    let report = run_fleet(&cfg, &profile).map_err(|e| e.to_string())?;
+    let a = &report.accum;
+    Ok(JobOutput {
+        // The fleet consumes a pre-graded profile; its store traffic is
+        // the profile's, which `profile_for_circuit` runs cold here.
+        store_hits: 0,
+        store_misses: 0,
+        detail: format!(
+            "{circuit}: {} devices, {} afflicted, {} detected, escape rate {:.3e}",
+            a.devices,
+            a.afflicted,
+            a.detected,
+            report.escape_rate()
+        ),
+        artifact: report.render(),
+    })
+}
+
+fn run_one(job: &Job) -> JobResult {
+    let start = Instant::now();
+    let (kind, outcome) = match &job.spec {
+        Err(e) => ("unknown".to_string(), Err(e.clone())),
+        Ok(spec) => {
+            let kind = spec.kind().to_string();
+            let run = || match spec {
+                JobSpec::Table1 { paper } => run_table1(*paper),
+                JobSpec::Grade {
+                    circuit,
+                    tests,
+                    seed,
+                    stage,
+                } => run_grade(circuit, *tests, *seed, *stage),
+                JobSpec::Fleet {
+                    circuit,
+                    devices,
+                    seed,
+                } => run_fleet_job(circuit, *devices, *seed),
+            };
+            match catch_unwind(AssertUnwindSafe(run)) {
+                Ok(res) => (kind, res),
+                Err(_) => {
+                    JOBS_PANICKED.inc();
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    JOB_WALL_MS.record(wall_ms as u64);
+                    return JobResult {
+                        id: job.id.clone(),
+                        kind,
+                        status: JobStatus::Panicked,
+                        wall_ms,
+                        store_hits: 0,
+                        store_misses: 0,
+                        detail: "worker panicked (caught at the job boundary)".to_string(),
+                        artifact: None,
+                    };
+                }
+            }
+        }
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    JOB_WALL_MS.record(wall_ms as u64);
+    match outcome {
+        Ok(out) => {
+            JOBS_DONE.inc();
+            JobResult {
+                id: job.id.clone(),
+                kind,
+                status: JobStatus::Done,
+                wall_ms,
+                store_hits: out.store_hits,
+                store_misses: out.store_misses,
+                detail: out.detail,
+                artifact: Some(out.artifact),
+            }
+        }
+        Err(e) => {
+            JOBS_DEGRADED.inc();
+            JobResult {
+                id: job.id.clone(),
+                kind,
+                status: JobStatus::Degraded,
+                wall_ms,
+                store_hits: 0,
+                store_misses: 0,
+                detail: e,
+                artifact: None,
+            }
+        }
+    }
+}
+
+/// Report of one drained batch.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-job outcome rows, in queue order.
+    pub jobs: Vec<JobResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Whether a persistent store was armed for the batch.
+    pub store_enabled: bool,
+    /// Store directory (empty when disabled).
+    pub store_dir: String,
+    /// Process-wide store hits at the end of the batch.
+    pub store_hits: u64,
+    /// Process-wide store misses at the end of the batch.
+    pub store_misses: u64,
+    /// Process-wide records appended at the end of the batch.
+    pub store_puts: u64,
+}
+
+impl ServeReport {
+    /// Jobs in a given terminal state.
+    pub fn count(&self, status: JobStatus) -> usize {
+        self.jobs.iter().filter(|j| j.status == status).count()
+    }
+
+    /// Whether every job reached `done` or `degraded` and none panicked.
+    pub fn clean(&self) -> bool {
+        self.count(JobStatus::Panicked) == 0
+    }
+
+    /// Human-readable drain summary.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "serve: {} jobs on {} workers — {} done, {} degraded, {} panicked\n",
+            self.jobs.len(),
+            self.threads,
+            self.count(JobStatus::Done),
+            self.count(JobStatus::Degraded),
+            self.count(JobStatus::Panicked),
+        );
+        if self.store_enabled {
+            s.push_str(&format!(
+                "store: {} ({} hits, {} misses, {} puts)\n",
+                self.store_dir, self.store_hits, self.store_misses, self.store_puts
+            ));
+        } else {
+            s.push_str("store: disabled (cold run)\n");
+        }
+        for j in &self.jobs {
+            s.push_str(&format!(
+                "  {:<10} {:<8} {:<9} {:>8.1}ms  store {}h/{}m  {}\n",
+                j.id,
+                j.kind,
+                j.status.as_str(),
+                j.wall_ms,
+                j.store_hits,
+                j.store_misses,
+                j.detail
+            ));
+        }
+        s
+    }
+
+    /// The `SERVE_run.json` artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"jobs_total\": {},\n", self.jobs.len()));
+        s.push_str(&format!("  \"done\": {},\n", self.count(JobStatus::Done)));
+        s.push_str(&format!(
+            "  \"degraded\": {},\n",
+            self.count(JobStatus::Degraded)
+        ));
+        s.push_str(&format!(
+            "  \"panicked\": {},\n",
+            self.count(JobStatus::Panicked)
+        ));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str("  \"store\": {\n");
+        s.push_str(&format!("    \"enabled\": {},\n", self.store_enabled));
+        s.push_str(&format!(
+            "    \"dir\": \"{}\",\n",
+            self.store_dir.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        s.push_str(&format!("    \"hits\": {},\n", self.store_hits));
+        s.push_str(&format!("    \"misses\": {},\n", self.store_misses));
+        s.push_str(&format!("    \"puts\": {}\n", self.store_puts));
+        s.push_str("  },\n");
+        s.push_str("  \"jobs\": [\n");
+        for (i, j) in self.jobs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"kind\": \"{}\", \"status\": \"{}\", \"wall_ms\": {:.3}, \"store_hits\": {}, \"store_misses\": {}, \"detail\": \"{}\"}}{}\n",
+                j.id.replace('\\', "\\\\").replace('"', "\\\""),
+                j.kind,
+                j.status.as_str(),
+                j.wall_ms,
+                j.store_hits,
+                j.store_misses,
+                j.detail.replace('\\', "\\\\").replace('"', "\\\""),
+                if i + 1 < self.jobs.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Drains `jobs` across `threads` work-stealing workers. Each worker
+/// pulls the next queue index from a shared atomic, runs the job inside
+/// a panic boundary, and publishes its outcome row; results come back
+/// in queue order regardless of scheduling.
+pub fn run_batch(jobs: &[Job], threads: usize) -> ServeReport {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    WORKERS.set(threads as f64);
+    let store = obd_store::global();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<JobResult>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = run_one(&jobs[i]);
+                results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+            });
+        }
+    });
+    let jobs = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            // A worker that died between claim and publish (impossible
+            // under the catch_unwind boundary, kept as a backstop) still
+            // yields a terminal row.
+            r.unwrap_or_else(|| JobResult {
+                id: format!("job-{}", i + 1),
+                kind: "unknown".to_string(),
+                status: JobStatus::Panicked,
+                wall_ms: 0.0,
+                store_hits: 0,
+                store_misses: 0,
+                detail: "job claimed but never published".to_string(),
+                artifact: None,
+            })
+        })
+        .collect();
+    ServeReport {
+        jobs,
+        threads,
+        store_enabled: store.is_some(),
+        store_dir: store
+            .as_deref()
+            .map(|s| s.path().display().to_string())
+            .unwrap_or_default(),
+        store_hits: store.as_deref().map_or(0, |s| s.hits()),
+        store_misses: store.as_deref().map_or(0, |s| s.misses()),
+        store_puts: store.as_deref().map_or(0, |s| s.puts()),
+    }
+}
+
+/// Writes each done job's artifact to `<out_dir>/<id>.txt`. Returns the
+/// paths written; I/O failures are reported on stderr and skipped (the
+/// report row is the source of truth).
+pub fn write_artifacts(report: &ServeReport, out_dir: &Path) -> Vec<std::path::PathBuf> {
+    let _ = std::fs::create_dir_all(out_dir);
+    let mut written = Vec::new();
+    for j in &report.jobs {
+        let Some(body) = &j.artifact else { continue };
+        // Ids come from user input: keep only a safe filename alphabet.
+        let safe: String =
+            j.id.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+        let path = out_dir.join(format!("{safe}.txt"));
+        match std::fs::write(&path, body) {
+            Ok(()) => written.push(path),
+            Err(e) => eprintln!("  FAILED to write {}: {e}", path.display()),
+        }
+    }
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_json_parses_the_three_value_kinds() {
+        let fields =
+            parse_flat_json(r#"{"id": "t1", "tests": 64, "deep": true, "x": -1.5e2}"#).unwrap();
+        assert_eq!(
+            fields[0],
+            ("id".to_string(), JsonVal::Str("t1".to_string()))
+        );
+        assert_eq!(fields[1].1.as_u64(), Some(64));
+        assert_eq!(fields[2].1, JsonVal::Bool(true));
+        assert_eq!(fields[3].1, JsonVal::Num(-150.0));
+        assert!(parse_flat_json(r#"{"nested": {"no": 1}}"#).is_err());
+        assert!(parse_flat_json(r#"{"id": "x"} trailing"#).is_err());
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn poisoned_lines_become_degradable_jobs_not_errors() {
+        let batch = parse_batch(
+            "{\"id\": \"ok\", \"kind\": \"grade\"}\n\ngarbage\n{\"id\": \"bad\", \"kind\": \"warp\"}\n",
+        );
+        assert_eq!(batch.len(), 3, "blank lines are skipped, bad ones kept");
+        assert!(batch[0].spec.is_ok());
+        assert!(batch[1].spec.is_err());
+        assert_eq!(batch[2].id, "bad");
+        assert!(batch[2].spec.as_ref().unwrap_err().contains("warp"));
+    }
+
+    #[test]
+    fn batch_drains_to_terminal_states_with_poison_isolated() {
+        let batch = parse_batch(concat!(
+            "{\"id\": \"g-c17\", \"kind\": \"grade\", \"circuit\": \"c17\", \"tests\": 40, \"seed\": 3}\n",
+            "{\"id\": \"px\", \"kind\": \"grade\", \"circuit\": \"no-such-circuit\"}\n",
+            "{\"id\": \"f-small\", \"kind\": \"fleet\", \"devices\": 500, \"seed\": 11}\n",
+        ));
+        let report = run_batch(&batch, 2);
+        assert_eq!(report.jobs.len(), 3);
+        assert!(report.clean(), "typed failures must not panic");
+        assert_eq!(report.count(JobStatus::Done), 2);
+        assert_eq!(report.count(JobStatus::Degraded), 1);
+        let px = report.jobs.iter().find(|j| j.id == "px").unwrap();
+        assert_eq!(px.status, JobStatus::Degraded);
+        assert!(px.detail.contains("no-such-circuit"));
+        assert!(px.artifact.is_none());
+        let done = report.jobs.iter().find(|j| j.id == "g-c17").unwrap();
+        assert!(done.artifact.as_deref().unwrap().contains("coverage"));
+        let json = report.to_json();
+        assert!(json.contains("\"jobs_total\": 3"));
+        assert!(json.contains("\"degraded\": 1"));
+        assert!(json.contains("\"id\": \"px\""));
+    }
+}

@@ -20,12 +20,14 @@
 //! benchmark does identical work every repetition, so the minimum is the
 //! least noise-contaminated estimate on a shared, busy host.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use obd_cmos::expand::expand;
 use obd_cmos::TechParams;
+use obd_core::cache::DelayCache;
 use obd_core::characterize::{
-    characterize_table1_parallel, characterize_table1_with_options,
+    characterize_table1_cached, characterize_table1_parallel, characterize_table1_with_options,
     measure_cell_transition_with_options, BenchConfig, Fig5Bench,
 };
 use obd_core::ObdError;
@@ -33,6 +35,7 @@ use obd_logic::netlist::GateKind;
 use obd_spice::devices::{EvalCtx, Integration, SourceWave};
 use obd_spice::engine::Solver;
 use obd_spice::SimOptions;
+use obd_store::Store;
 
 /// Throughput report for the analog substrate.
 #[derive(Debug, Clone)]
@@ -57,6 +60,14 @@ pub struct SpiceBenchReport {
     pub table1_parallel_s: f64,
     /// Worker count used for the parallel run.
     pub table1_threads: usize,
+    /// Table 1 wall time populating an empty persistent store (s).
+    pub table1_cold_s: f64,
+    /// Table 1 wall time of a fresh cache over the warm store (s).
+    pub table1_warm_s: f64,
+    /// Store hits of the warm pass (the whole grid when healthy).
+    pub warm_store_hits: u64,
+    /// Whether the warm table is byte-identical to the cold one.
+    pub warm_byte_identical: bool,
 }
 
 impl SpiceBenchReport {
@@ -73,6 +84,11 @@ impl SpiceBenchReport {
     /// Reference serial → optimized parallel: the end-to-end number.
     pub fn total_speedup(&self) -> f64 {
         self.table1_reference_s / self.table1_parallel_s
+    }
+
+    /// Cold (store-populating) → warm (store-served) rerun.
+    pub fn warm_speedup(&self) -> f64 {
+        self.table1_cold_s / self.table1_warm_s
     }
 }
 
@@ -199,6 +215,31 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<SpiceBenchReport, Obd
         "reference and optimized kernels must regenerate the same Table 1"
     );
 
+    // Warm-start benchmark: one cold Table 1 populating a throwaway
+    // persistent store, then a *fresh* cache over the same store. The
+    // warm pass must run zero transients and reproduce the cold table
+    // byte for byte (outcomes are stored as exact f64 bit patterns).
+    let store_dir = std::env::temp_dir().join(format!("obd-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Arc::new(
+        Store::open(&store_dir).map_err(|e| ObdError::Spice(format!("bench store: {e}")))?,
+    );
+    let cold_cache = DelayCache::persistent(Arc::clone(&store));
+    let t3 = Instant::now();
+    let cold_table = characterize_table1_cached(tech, cfg, &cold_cache)?;
+    let table1_cold_s = t3.elapsed().as_secs_f64();
+    let warm_cache = DelayCache::persistent(store);
+    let t4 = Instant::now();
+    let warm_table = characterize_table1_cached(tech, cfg, &warm_cache)?;
+    let table1_warm_s = t4.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    assert_eq!(
+        cold_table.render(),
+        serial.render(),
+        "the cached driver must regenerate the same Table 1"
+    );
+    let warm_byte_identical = format!("{cold_table:?}") == format!("{warm_table:?}");
+
     Ok(SpiceBenchReport {
         newton_ns_per_iter,
         newton_ref_ns_per_iter,
@@ -210,6 +251,10 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<SpiceBenchReport, Obd
         table1_serial_s,
         table1_parallel_s,
         table1_threads: threads,
+        table1_cold_s,
+        table1_warm_s,
+        warm_store_hits: warm_cache.store_hits(),
+        warm_byte_identical,
     })
 }
 
@@ -229,6 +274,13 @@ pub fn to_json(r: &SpiceBenchReport) -> String {
             "    \"kernel_speedup\": {:.3},\n",
             "    \"thread_speedup\": {:.3},\n",
             "    \"total_speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"store\": {{\n",
+            "    \"cold_s\": {:.6},\n",
+            "    \"warm_s\": {:.6},\n",
+            "    \"warm_speedup\": {:.3},\n",
+            "    \"warm_store_hits\": {},\n",
+            "    \"byte_identical\": {}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -245,6 +297,11 @@ pub fn to_json(r: &SpiceBenchReport) -> String {
         r.kernel_speedup(),
         r.thread_speedup(),
         r.total_speedup(),
+        r.table1_cold_s,
+        r.table1_warm_s,
+        r.warm_speedup(),
+        r.warm_store_hits,
+        r.warm_byte_identical,
     )
 }
 
@@ -255,7 +312,8 @@ pub fn render(r: &SpiceBenchReport) -> String {
             "  newton kernel     : {:.1} ns/iter optimized vs {:.1} ns/iter reference ({} iters timed)\n",
             "  transient         : {:.2}/s optimized vs {:.2}/s reference ({} timed)\n",
             "  table1 end-to-end : reference {:.2} s, optimized serial {:.2} s, parallel {:.2} s on {} threads\n",
-            "  speedup           : kernel {:.2}x, threads {:.2}x, total {:.2}x"
+            "  speedup           : kernel {:.2}x, threads {:.2}x, total {:.2}x\n",
+            "  warm start        : cold {:.3} s, warm {:.6} s ({:.0}x, {} store hits, byte-identical: {})"
         ),
         r.newton_ns_per_iter,
         r.newton_ref_ns_per_iter,
@@ -270,6 +328,11 @@ pub fn render(r: &SpiceBenchReport) -> String {
         r.kernel_speedup(),
         r.thread_speedup(),
         r.total_speedup(),
+        r.table1_cold_s,
+        r.table1_warm_s,
+        r.warm_speedup(),
+        r.warm_store_hits,
+        r.warm_byte_identical,
     )
 }
 
@@ -290,17 +353,24 @@ mod tests {
             table1_serial_s: 10.0,
             table1_parallel_s: 2.5,
             table1_threads: 8,
+            table1_cold_s: 10.0,
+            table1_warm_s: 0.5,
+            warm_store_hits: 100,
+            warm_byte_identical: true,
         };
         assert_eq!(r.kernel_speedup(), 2.0);
         assert_eq!(r.thread_speedup(), 4.0);
         assert_eq!(r.total_speedup(), 8.0);
+        assert_eq!(r.warm_speedup(), 20.0);
         let j = to_json(&r);
         assert!(j.contains("\"ns_per_iter\": 1234.50"));
         assert!(j.contains("\"total_speedup\": 8.000"));
+        assert!(j.contains("\"warm_store_hits\": 100"));
+        assert!(j.contains("\"byte_identical\": true"));
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
         // Balanced braces — the artifact must stay machine-parseable.
         let open = j.matches('{').count();
         assert_eq!(open, j.matches('}').count());
-        assert_eq!(open, 4);
+        assert_eq!(open, 5);
     }
 }

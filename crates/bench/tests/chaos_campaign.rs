@@ -22,6 +22,31 @@ fn small_campaign_is_panic_free_and_accounted() {
     assert!(json.contains("linalg.forced_singular"));
 }
 
+/// The persistence layer must exercise all three outcomes: torn appends
+/// reported, corrupt reads degraded to misses, and harmless flips on
+/// empty payloads recovered — with the exact-ledger invariant intact.
+#[test]
+fn store_layer_populates_every_bucket() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let r = chaos::run_with_scale(21, 2);
+    let store = r
+        .layers
+        .iter()
+        .find(|l| l.layer == "store")
+        .expect("campaign must include the store layer");
+    assert!(store.injected > 0, "store layer must see injections");
+    assert!(
+        store.reported > 0,
+        "torn writes must surface as typed errors"
+    );
+    assert!(store.degraded > 0, "corrupt reads must degrade to misses");
+    assert!(store.recovered > 0, "empty-payload flips must be absorbed");
+    assert!(store.accounted(), "store ledger must be exact: {store:?}");
+    let json = r.to_json();
+    assert!(json.contains("store.write_torn"));
+    assert!(json.contains("store.read_corrupt"));
+}
+
 #[test]
 fn same_seed_replays_identical_accounting() {
     let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());

@@ -1,0 +1,59 @@
+//! End-to-end serve coverage with persistence armed: a mixed batch
+//! drains to terminal states, a poisoned job degrades without touching
+//! its neighbors, and a rerun of the same batch is served from the
+//! store with byte-identical artifacts.
+//!
+//! The global store handle latches `OBD_STORE_DIR` once per process, so
+//! this binary is dedicated to the armed serve path.
+
+use obd_bench::experiments::serve::{parse_batch, run_batch, JobStatus};
+
+const BATCH: &str = concat!(
+    "{\"id\": \"t-fast\", \"kind\": \"table1\", \"resolution\": \"fast\"}\n",
+    "{\"id\": \"g-c17\", \"kind\": \"grade\", \"circuit\": \"c17\", \"tests\": 48, \"seed\": 1}\n",
+    "{\"id\": \"g-rca32\", \"kind\": \"grade\", \"circuit\": \"rca32\", \"tests\": 32, \"seed\": 2}\n",
+    "{\"id\": \"px\", \"kind\": \"grade\", \"circuit\": \"no-such-circuit\"}\n",
+    "{\"id\": \"f-c17\", \"kind\": \"fleet\", \"circuit\": \"c17\", \"devices\": 800, \"seed\": 5}\n",
+);
+
+#[test]
+fn rerun_of_the_same_batch_is_served_from_disk_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("obd-serve-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var(obd_store::STORE_DIR_ENV, &dir);
+    assert!(obd_store::global().is_some(), "store must arm from the env");
+
+    let jobs = parse_batch(BATCH);
+    assert_eq!(jobs.len(), 5);
+
+    let cold = run_batch(&jobs, 2);
+    assert!(cold.clean(), "no panics on the cold pass");
+    assert_eq!(cold.count(JobStatus::Done), 4);
+    assert_eq!(cold.count(JobStatus::Degraded), 1, "only px degrades");
+    assert!(cold.store_enabled);
+    assert!(cold.store_puts > 0, "cold pass must populate the store");
+
+    let warm = run_batch(&jobs, 2);
+    assert!(warm.clean());
+    assert_eq!(warm.count(JobStatus::Done), 4);
+    let warm_engine_hits: u64 = warm.jobs.iter().map(|j| j.store_hits).sum();
+    assert!(
+        warm_engine_hits > 0,
+        "warm table1/grade jobs must be served from disk"
+    );
+    for (c, w) in cold.jobs.iter().zip(&warm.jobs) {
+        assert_eq!(c.id, w.id);
+        assert_eq!(c.status, w.status);
+        assert_eq!(
+            c.artifact, w.artifact,
+            "warm artifact for {} must be byte-identical",
+            c.id
+        );
+    }
+    // The warm table1 job ran no transients: every cell came from disk.
+    let t_warm = warm.jobs.iter().find(|j| j.id == "t-fast").unwrap();
+    assert!(t_warm.store_hits > 0);
+    assert_eq!(t_warm.store_misses, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

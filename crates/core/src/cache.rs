@@ -9,10 +9,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use obd_cmos::TechParams;
 use obd_logic::netlist::GateKind;
+use obd_store::{Digest, Store};
 
 use crate::characterize::{measure_cell_transition, BenchConfig, BenchDefect, TransitionOutcome};
 use crate::faultmodel::Polarity;
@@ -23,6 +24,10 @@ use obd_metrics::Counter;
 static CACHE_HITS: Counter = Counter::new("core.delay_cache_hits");
 /// Lookups that ran a characterization transient.
 static CACHE_MISSES: Counter = Counter::new("core.delay_cache_misses");
+/// Lookups served from the persistent store instead of a transient.
+static STORE_HITS: Counter = Counter::new("core.delay_store_hits");
+/// Store lookups that fell through to the analog engine.
+static STORE_MISSES: Counter = Counter::new("core.delay_store_misses");
 
 /// FNV-1a over raw `f64` bits — a cheap, stable fingerprint for the
 /// floating-point parts of a cache key. Bit-exact equality is the right
@@ -106,6 +111,90 @@ impl CacheKey {
     }
 }
 
+/// Content address of a measurement in the persistent store: the exact
+/// bit patterns of everything that determines the transient's outcome,
+/// under a versioned domain so a model change can retire old records by
+/// bumping the domain string.
+fn store_digest(
+    tech: &TechParams,
+    kind: GateKind,
+    defect: Option<BenchDefect>,
+    v1: [bool; 2],
+    v2: [bool; 2],
+    cfg: &BenchConfig,
+) -> u64 {
+    let mut d = Digest::new("core.delay.v1");
+    for v in [
+        tech.vdd,
+        tech.nmos_vt0,
+        tech.nmos_kp,
+        tech.pmos_vt0,
+        tech.pmos_kp,
+        tech.lambda,
+        tech.length,
+        tech.nmos_w,
+        tech.pmos_w,
+        tech.c_gate,
+        tech.c_junction,
+        tech.c_wire,
+    ] {
+        d = d.f64(v);
+    }
+    for v in [cfg.edge_ps, cfg.launch_ps, cfg.window_ps, cfg.step_ps] {
+        d = d.f64(v);
+    }
+    d = match cfg.at_speed_ps {
+        Some(limit) => d.bool(true).f64(limit),
+        None => d.bool(false),
+    };
+    d = d.bool(cfg.sim_full_window);
+    d = d.u8(kind as u8);
+    d = match defect {
+        Some(def) => d
+            .bool(true)
+            .u64(def.pin as u64)
+            .u8(match def.polarity {
+                Polarity::Nmos => 0,
+                Polarity::Pmos => 1,
+            })
+            .f64(def.params.isat)
+            .f64(def.params.r_bd),
+        None => d.bool(false),
+    };
+    for b in v1.into_iter().chain(v2) {
+        d = d.bool(b);
+    }
+    d.finish()
+}
+
+/// Record payload: one tag byte plus the delay's exact bit pattern.
+fn encode_outcome(o: TransitionOutcome) -> Vec<u8> {
+    match o {
+        TransitionOutcome::Stuck => vec![0],
+        TransitionOutcome::Delay(d) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(1);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+            out
+        }
+    }
+}
+
+/// Strict inverse of [`encode_outcome`]; `None` (treated as a miss)
+/// on any shape the current build did not write.
+fn decode_outcome(bytes: &[u8]) -> Option<TransitionOutcome> {
+    match bytes {
+        [0] => Some(TransitionOutcome::Stuck),
+        [1, rest @ ..] => {
+            let bits: [u8; 8] = rest.try_into().ok()?;
+            Some(TransitionOutcome::Delay(f64::from_bits(
+                u64::from_le_bytes(bits),
+            )))
+        }
+        _ => None,
+    }
+}
+
 /// A thread-safe memo table for characterization transients.
 ///
 /// # Example
@@ -130,18 +219,44 @@ impl CacheKey {
 #[derive(Debug, Default)]
 pub struct DelayCache {
     map: Mutex<HashMap<CacheKey, TransitionOutcome>>,
+    /// Persistent second level: memory misses probe here before running
+    /// a transient, and fresh measurements are written back, so a second
+    /// process measuring the same corners starts warm.
+    store: Option<Arc<Store>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
 }
 
 impl DelayCache {
-    /// Creates an empty cache.
+    /// Creates an empty memory-only cache.
     pub fn new() -> Self {
+        DelayCache::default()
+    }
+
+    /// Creates a cache backed by a persistent store: memory misses are
+    /// served from `store` when the exact measurement was ever recorded
+    /// (by any process), and fresh transients are written back.
+    pub fn persistent(store: Arc<Store>) -> Self {
         DelayCache {
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            store: Some(store),
+            ..DelayCache::default()
         }
+    }
+
+    /// Creates a cache backed by the process-wide store when persistence
+    /// is armed ([`obd_store::global`]), memory-only otherwise.
+    pub fn auto() -> Self {
+        match obd_store::global() {
+            Some(store) => DelayCache::persistent(store),
+            None => DelayCache::new(),
+        }
+    }
+
+    /// Whether a persistent store backs this cache.
+    pub fn is_persistent(&self) -> bool {
+        self.store.is_some()
     }
 
     /// Memoized [`measure_transition`](crate::characterize::measure_transition):
@@ -185,12 +300,43 @@ impl DelayCache {
             CACHE_HITS.inc();
             return Ok(o);
         }
+        // Second level: the persistent store. A hit skips the transient
+        // entirely; any store error (corruption, I/O) degrades to a miss
+        // so persistence can never wedge a measurement.
+        let digest = self
+            .store
+            .as_deref()
+            .map(|_| store_digest(tech, kind, defect, v1, v2, cfg));
+        if let (Some(store), Some(digest)) = (self.store.as_deref(), digest) {
+            if let Some(o) = store
+                .get(digest)
+                .ok()
+                .flatten()
+                .as_deref()
+                .and_then(decode_outcome)
+            {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                STORE_HITS.inc();
+                self.map
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(key, o);
+                return Ok(o);
+            }
+        }
         // The transient runs outside the lock so concurrent misses on
         // *different* keys proceed in parallel; a duplicated concurrent
         // miss on the same key just recomputes the identical outcome.
         let o = measure_cell_transition(tech, kind, defect, v1, v2, cfg)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         CACHE_MISSES.inc();
+        if let (Some(store), Some(digest)) = (self.store.as_deref(), digest) {
+            self.store_misses.fetch_add(1, Ordering::Relaxed);
+            STORE_MISSES.inc();
+            // Write-back failure (disk full, torn write) only costs the
+            // next run a recompute; the outcome in hand is still good.
+            let _ = store.put(digest, &encode_outcome(o));
+        }
         self.map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -206,6 +352,16 @@ impl DelayCache {
     /// Number of lookups that ran a transient.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the persistent store.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of store probes that fell through to the analog engine.
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
     }
 
     /// Number of distinct measurements stored.
@@ -275,6 +431,62 @@ mod tests {
             panic!("both sequences must switch at MBD3: {ff:?} vs {faulty:?}");
         };
         assert!(b > a, "defect must slow the transition: {b} vs {a}");
+    }
+
+    #[test]
+    fn outcome_encoding_round_trips_exactly() {
+        for o in [
+            TransitionOutcome::Stuck,
+            TransitionOutcome::Delay(0.0),
+            TransitionOutcome::Delay(123.456_789),
+            TransitionOutcome::Delay(f64::MIN_POSITIVE),
+        ] {
+            assert_eq!(decode_outcome(&encode_outcome(o)), Some(o));
+        }
+        // Shapes this build never wrote are misses, not panics.
+        assert_eq!(decode_outcome(&[]), None);
+        assert_eq!(decode_outcome(&[2]), None);
+        assert_eq!(decode_outcome(&[1, 0, 0]), None);
+    }
+
+    #[test]
+    fn persistent_cache_serves_second_process_from_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("obd-delaycache-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tech = TechParams::date05();
+        let cfg = fast_cfg();
+        let defect = BenchDefect {
+            pin: 0,
+            polarity: Polarity::Nmos,
+            params: BreakdownStage::Mbd3.params(Polarity::Nmos).unwrap(),
+        };
+        let jobs: [(Option<BenchDefect>, [bool; 2], [bool; 2]); 3] = [
+            (None, [false, true], [true, true]),
+            (Some(defect), [false, true], [true, true]),
+            (None, [true, false], [true, true]),
+        ];
+        // Cold: a fresh cache over an empty store runs every transient
+        // and writes each outcome back.
+        let cold = DelayCache::persistent(Arc::new(Store::open(&dir).unwrap()));
+        let cold_outcomes: Vec<_> = jobs
+            .iter()
+            .map(|&(d, v1, v2)| cold.measure(&tech, d, v1, v2, &cfg).unwrap())
+            .collect();
+        assert_eq!(cold.store_hits(), 0);
+        assert_eq!(cold.store_misses(), jobs.len() as u64);
+        drop(cold);
+        // Warm: a second cache (second process, in effect) sees identical
+        // outcomes straight from disk, running zero transients.
+        let warm = DelayCache::persistent(Arc::new(Store::open(&dir).unwrap()));
+        let warm_outcomes: Vec<_> = jobs
+            .iter()
+            .map(|&(d, v1, v2)| warm.measure(&tech, d, v1, v2, &cfg).unwrap())
+            .collect();
+        assert_eq!(warm_outcomes, cold_outcomes, "warm run must be identical");
+        assert_eq!(warm.store_hits(), jobs.len() as u64);
+        assert_eq!(warm.misses(), 0, "warm run must run no transients");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -517,6 +517,29 @@ pub fn characterize_table1_with_options(
     Ok(table1_from_slots(row_meta, slots))
 }
 
+/// [`characterize_table1`] routed through a [`DelayCache`]: repeated
+/// cells hit memory, and when the cache is persistent the whole grid is
+/// served from disk on a warm rerun. Cell visit order matches the serial
+/// driver, so the assembled table is identical to
+/// [`characterize_table1`]'s on a cold cache.
+///
+/// # Errors
+///
+/// Propagates measurement errors.
+pub fn characterize_table1_cached(
+    tech: &TechParams,
+    cfg: &BenchConfig,
+    cache: &crate::cache::DelayCache,
+) -> Result<Table1, ObdError> {
+    let (jobs, row_meta) = table1_jobs();
+    let mut slots = vec![[None; 8]; row_meta.len()];
+    for j in &jobs {
+        slots[j.row][j.slot] =
+            Some(cache.measure_cell(tech, GateKind::Nand, j.defect, j.v1, j.v2, cfg)?);
+    }
+    Ok(table1_from_slots(row_meta, slots))
+}
+
 /// A Table 1 cell whose measurement failed. The campaign records the
 /// typed error and keeps going; the cell stays empty in the table.
 #[derive(Debug, Clone)]

@@ -1,0 +1,146 @@
+//! Corruption and chaos coverage: a truncated file and a flipped
+//! checksum byte must each yield a clean rebuild (valid prefix kept,
+//! damage quarantined), and the `store.write_torn` / `store.read_corrupt`
+//! injection points must surface typed errors while leaving the store
+//! consistent. Chaos state is process-global, so this binary is
+//! dedicated to the armed tests.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use obd_store::{Digest, Store, StoreError, QUARANTINE_FILE, STORE_FILE};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("obd-store-corrupt-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Arm/disarm must not interleave across tests in this binary.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn key(i: u64) -> u64 {
+    Digest::new("corrupt").u64(i).finish()
+}
+
+/// Builds a store with three records and returns their payloads.
+fn seeded(dir: &PathBuf) -> Vec<Vec<u8>> {
+    let store = Store::open(dir).unwrap();
+    let bodies: Vec<Vec<u8>> = (0..3).map(|i| vec![0xA0 + i as u8; 100 + i * 50]).collect();
+    for (i, b) in bodies.iter().enumerate() {
+        store.put(key(i as u64), b).unwrap();
+    }
+    bodies
+}
+
+#[test]
+fn truncated_file_rebuilds_cleanly_with_valid_prefix() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    obd_chaos::disarm();
+    let dir = tmp("truncated");
+    let bodies = seeded(&dir);
+    // Chop the file mid-way through the last record — a crash during
+    // append.
+    let path = dir.join(STORE_FILE);
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.len(), 2, "valid prefix must survive");
+    for (i, body) in bodies.iter().enumerate().take(2) {
+        assert_eq!(
+            store.get(key(i as u64)).unwrap().as_deref(),
+            Some(body.as_slice())
+        );
+    }
+    assert_eq!(store.get(key(2)).unwrap(), None, "torn record must be gone");
+    assert!(
+        dir.join(QUARANTINE_FILE).exists(),
+        "damaged file must be quarantined for forensics"
+    );
+    // The rebuilt store accepts new appends at the healed tail.
+    store.put(key(9), b"after rebuild").unwrap();
+    assert_eq!(
+        store.get(key(9)).unwrap().as_deref(),
+        Some(&b"after rebuild"[..])
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flipped_checksum_byte_rebuilds_cleanly() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    obd_chaos::disarm();
+    let dir = tmp("bitflip");
+    let bodies = seeded(&dir);
+    // Flip one payload byte of the *second* record: the scan must keep
+    // record 0, drop records 1 and 2 (everything at and past the
+    // damage), and quarantine the original.
+    let path = dir.join(STORE_FILE);
+    let mut bytes = fs::read(&path).unwrap();
+    let record0 = 20 + bodies[0].len();
+    let target = 16 + record0 + 20 + 10; // header + record0 + frame1 + 10 bytes in
+    bytes[target] ^= 0x40;
+    fs::write(&path, &bytes).unwrap();
+
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.len(), 1, "only the prefix before the damage survives");
+    assert_eq!(
+        store.get(key(0)).unwrap().as_deref(),
+        Some(bodies[0].as_slice())
+    );
+    assert_eq!(store.get(key(1)).unwrap(), None);
+    assert!(dir.join(QUARANTINE_FILE).exists());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_write_injection_is_typed_and_heals() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp("torn");
+    let store = Store::open(&dir).unwrap();
+    store.put(key(0), b"committed before chaos").unwrap();
+
+    obd_chaos::arm(0xBADBEEF, 1000); // every evaluation fires
+    let torn = store.put(key(1), b"this append is torn");
+    obd_chaos::disarm();
+    assert_eq!(torn, Err(StoreError::TornWrite { digest: key(1) }));
+    // The torn record was never published...
+    assert_eq!(store.get(key(1)).unwrap(), None);
+    assert_eq!(
+        store.get(key(0)).unwrap().as_deref(),
+        Some(&b"committed before chaos"[..])
+    );
+    // ...and the next disarmed put heals the tail in place.
+    store.put(key(2), b"after healing").unwrap();
+    assert_eq!(
+        store.get(key(2)).unwrap().as_deref(),
+        Some(&b"after healing"[..])
+    );
+    drop(store);
+    // A reopen sees a fully consistent log (the tail was healed, so no
+    // quarantine happens here).
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.len(), 2);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn read_corrupt_injection_is_typed_then_degrades_to_miss() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp("readflip");
+    let store = Store::open(&dir).unwrap();
+    store.put(key(0), &[0x55; 512]).unwrap();
+
+    obd_chaos::arm(0xF00D, 1000);
+    let res = store.get(key(0));
+    obd_chaos::disarm();
+    assert_eq!(res, Err(StoreError::Corrupt { digest: key(0) }));
+    // The record was dropped from the index: a caching caller now sees
+    // a plain miss and recomputes — graceful degradation, not a wedge.
+    assert_eq!(store.get(key(0)).unwrap(), None);
+    store.put(key(0), &[0x66; 16]).unwrap();
+    assert_eq!(store.get(key(0)).unwrap().as_deref(), Some(&[0x66; 16][..]));
+    fs::remove_dir_all(&dir).unwrap();
+}

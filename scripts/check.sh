@@ -36,6 +36,12 @@ assert gauges.get("logic.levels", 0) > 0, f"levelized netlist depth not publishe
 assert gauges.get("atpg.superlane_width", 0) >= 1, f"super-lane width not published: {gauges}"
 assert "fleet.escape_rate" in gauges, f"fleet escape rate not published: {gauges}"
 assert "fleet.detection_latency_mh" in snap["histograms"], "fleet latency histogram missing"
+# The persistence layer and the serve front-end run inside the stats
+# flow: the store round-trip and the mini batch must leave their marks.
+for key in ("store.puts", "store.hits", "core.delay_store_hits",
+            "serve.jobs_done", "serve.jobs_degraded"):
+    assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
+assert "serve.job_wall_ms" in snap["histograms"], "serve wall-time histogram missing"
 print(
     "METRICS_run.json ok:",
     f"newton_iterations={counters['spice.newton_iterations']}",
@@ -60,13 +66,87 @@ assert run["accounted"], "chaos accounting did not balance"
 assert run["injected_total"] >= 200, f"too few injections: {run['injected_total']}"
 assert run["recovered_total"] > 0, "no injection was recovered"
 layers = {l["layer"] for l in run["layers"] if l["injected"] > 0}
-assert layers == {"linalg", "spice", "core", "atpg", "fleet"}, \
+assert layers == {"linalg", "spice", "core", "atpg", "fleet", "store"}, \
     f"layers missing injections: {layers}"
 print(
     "CHAOS_run.json ok:",
     f"injected={run['injected_total']}",
     f"recovered={run['recovered_total']}",
     "panics=0",
+)
+EOF
+
+# Smoke the batch front-end end to end: a mixed 12-job queue (Table 1,
+# grading across four circuits, fleet slices, one poisoned job) must
+# drain with zero panics, every job terminal, and exactly the poisoned
+# job degraded. A second pass over the same queue must be served from
+# the persistent store with byte-identical per-job artifacts.
+rm -rf results/store.ci results/serve results/serve.cold
+cat > results/serve_batch.ci.jsonl <<'EOF'
+{"id": "t1", "kind": "table1", "resolution": "fast"}
+{"id": "t2", "kind": "table1", "resolution": "fast"}
+{"id": "t3", "kind": "table1", "resolution": "fast"}
+{"id": "g1", "kind": "grade", "circuit": "c17", "tests": 64, "seed": 11}
+{"id": "g2", "kind": "grade", "circuit": "rca32", "tests": 32, "seed": 12}
+{"id": "g3", "kind": "grade", "circuit": "csa32", "tests": 32, "seed": 13}
+{"id": "g4", "kind": "grade", "circuit": "mult16", "tests": 16, "seed": 14}
+{"id": "g5", "kind": "grade", "circuit": "c17", "tests": 64, "seed": 11}
+{"id": "f1", "kind": "fleet", "circuit": "c17", "devices": 900, "seed": 21}
+{"id": "f2", "kind": "fleet", "circuit": "rca32", "devices": 600, "seed": 22}
+{"id": "f3", "kind": "fleet", "circuit": "c17", "devices": 900, "seed": 21}
+{"id": "px", "kind": "grade", "circuit": "no-such-circuit"}
+EOF
+OBD_STORE_DIR=results/store.ci ./target/release/repro serve results/serve_batch.ci.jsonl
+python3 - <<'EOF'
+import json
+
+with open("results/SERVE_run.json") as f:
+    run = json.load(f)
+assert run["jobs_total"] >= 10, f"batch too small: {run['jobs_total']}"
+assert run["panicked"] == 0, f"serve panicked: {run['panicked']}"
+terminal = {"done", "degraded", "panicked"}
+assert all(j["status"] in terminal for j in run["jobs"]), "non-terminal job state"
+degraded = [j["id"] for j in run["jobs"] if j["status"] == "degraded"]
+assert degraded == ["px"], f"only the poisoned job may degrade: {degraded}"
+assert run["store"]["enabled"], "serve must arm the persistent store"
+assert run["store"]["puts"] > 0, "cold pass must populate the store"
+print(f"SERVE_run.json cold ok: {run['jobs_total']} jobs, {run['done']} done, px degraded")
+EOF
+cp -r results/serve results/serve.cold
+OBD_STORE_DIR=results/store.ci ./target/release/repro serve results/serve_batch.ci.jsonl
+python3 - <<'EOF'
+import json
+
+with open("results/SERVE_run.json") as f:
+    run = json.load(f)
+assert run["panicked"] == 0 and run["done"] == run["jobs_total"] - 1
+assert run["store"]["hits"] > 0, "warm pass must be served from the store"
+assert sum(j["store_hits"] for j in run["jobs"]) > 0, "no job saw an engine-side store hit"
+print(f"SERVE_run.json warm ok: store_hits={run['store']['hits']}")
+EOF
+diff -r results/serve.cold results/serve \
+    || { echo "warm serve artifacts differ from cold"; exit 1; }
+rm -rf results/serve.cold results/store.ci results/serve_batch.ci.jsonl
+echo "serve smoke ok: mixed batch drained twice, warm pass store-served byte-identically"
+
+# Smoke the analog-engine benchmark with the warm-start columns: the
+# store-backed rerun of Table 1 must be served entirely from disk and
+# reproduce the cold table byte-for-byte.
+./target/release/repro bench
+python3 - <<'EOF'
+import json
+
+with open("results/BENCH_spice.json") as f:
+    bench = json.load(f)
+store = bench["store"]
+assert store["warm_store_hits"] > 0, f"warm Table 1 ran cold: {store}"
+assert store["byte_identical"] is True, "warm Table 1 diverged from cold"
+assert store["cold_s"] > 0 and store["warm_s"] >= 0
+print(
+    "BENCH_spice.json ok:",
+    f"warm_speedup={store['warm_speedup']:.2f}x",
+    f"warm_store_hits={store['warm_store_hits']}",
+    "byte_identical=true",
 )
 EOF
 
