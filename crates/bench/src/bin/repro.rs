@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper as text/CSV artifacts.
 //!
 //! ```text
-//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg|fleet|chaos|serve]
+//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg|fleet|chaos|serve|store]
 //! ```
 //!
 //! Artifacts are written to `results/` in the current directory; a summary
@@ -355,13 +355,13 @@ fn run_fleet() {
 }
 
 fn run_serve(batch_path: Option<&str>) {
-    println!("== Serve: batch job queue over the persistent store (SERVE_run.json) ==");
+    println!("== Serve: supervised batch queue over the persistent store (SERVE_run.json) ==");
     // Persistence defaults ON for serving (results/store), overridable
     // via OBD_STORE_DIR; an unopenable dir degrades to a cold batch.
     let store = obd_store::set_global_dir("results/store");
     match &store {
         Some(s) => println!("  store: {} ({} records)", s.path().display(), s.len()),
-        None => println!("  store: disabled (cold batch)"),
+        None => println!("  store: disabled (cold batch, no checkpoint ledger)"),
     }
     let text = match batch_path {
         Some(path) => match fs::read_to_string(path) {
@@ -390,16 +390,106 @@ fn run_serve(batch_path: Option<&str>) {
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let report = serve::run_batch(&jobs, threads);
+    let digest = serve::batch_digest(&text);
+    let mut opts = serve::ServeOptions::new(threads);
+    opts.ledger = store.as_deref().map(|s| (s, digest));
+    // results/serve/ holds only deterministic bytes (artifacts, canonical
+    // results, dead letters) — it is the kill/resume diff target. The
+    // streaming log keeps volatile fields and lives outside it.
+    opts.stream_path = Some(Path::new("results/SERVE_stream.jsonl").to_path_buf());
+    opts.artifacts_dir = Some(Path::new("results/serve").to_path_buf());
+    opts.dead_letter_path = Some(Path::new("results/serve/dead_letter.jsonl").to_path_buf());
+    println!(
+        "  batch {digest:#018x}: {} jobs, {} workers, deadline {} ms, {} retries",
+        jobs.len(),
+        threads.max(1).min(jobs.len()),
+        opts.deadline_ms,
+        opts.max_retries
+    );
+    let report = serve::run_supervised(&jobs, &opts);
     print!("{}", report.render());
-    for path in serve::write_artifacts(&report, Path::new("results/serve")) {
-        println!("  wrote {}", path.display());
-    }
+    save("serve/SERVE_results.jsonl", &report.canonical_jsonl());
     save("SERVE_run.json", &report.to_json());
     if !report.clean() {
         eprintln!("  SERVE FAILED: a worker panicked");
         std::process::exit(1);
     }
+}
+
+fn run_store(action: Option<&str>) {
+    println!("== Store: persistent result store maintenance (STORE_run.json) ==");
+    let action = action.unwrap_or("stats");
+    let Some(store) = obd_store::set_global_dir("results/store") else {
+        eprintln!("  STORE FAILED: cannot open the store directory");
+        std::process::exit(1);
+    };
+    println!(
+        "  store: {} ({} records)",
+        store.path().display(),
+        store.len()
+    );
+    let json = match action {
+        "stats" => match store.file_stats() {
+            Ok(s) => {
+                println!(
+                    "  {} live / {} total records ({} dead), {} of {} bytes live ({} reclaimable)",
+                    s.live_records,
+                    s.total_records,
+                    s.dead_records,
+                    s.live_bytes,
+                    s.file_bytes,
+                    s.dead_bytes
+                );
+                format!(
+                    "{{\n  \"action\": \"stats\",\n  \"live_records\": {},\n  \"total_records\": {},\n  \"dead_records\": {},\n  \"file_bytes\": {},\n  \"live_bytes\": {},\n  \"dead_bytes\": {}\n}}\n",
+                    s.live_records, s.total_records, s.dead_records, s.file_bytes, s.live_bytes, s.dead_bytes
+                )
+            }
+            Err(e) => {
+                eprintln!("  STORE FAILED: stats: {e}");
+                std::process::exit(1);
+            }
+        },
+        "compact" => {
+            match store.compact() {
+                Ok(r) => {
+                    println!(
+                    "  compacted: {} live records kept, {} dropped, {} -> {} bytes ({} reclaimed)",
+                    r.live_records, r.dropped_records, r.before_bytes, r.after_bytes, r.reclaimed_bytes
+                );
+                    format!(
+                    "{{\n  \"action\": \"compact\",\n  \"live_records\": {},\n  \"dropped_records\": {},\n  \"before_bytes\": {},\n  \"after_bytes\": {},\n  \"reclaimed_bytes\": {}\n}}\n",
+                    r.live_records, r.dropped_records, r.before_bytes, r.after_bytes, r.reclaimed_bytes
+                )
+                }
+                Err(e) => {
+                    eprintln!("  STORE FAILED: compact: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "verify" => match store.verify() {
+            Ok(v) => {
+                println!(
+                    "  verified: {} checked, {} valid, {} corrupt (corrupt records are dropped)",
+                    v.checked, v.valid, v.corrupt
+                );
+                format!(
+                    "{{\n  \"action\": \"verify\",\n  \"checked\": {},\n  \"valid\": {},\n  \"corrupt\": {}\n}}\n",
+                    v.checked, v.valid, v.corrupt
+                )
+            }
+            Err(e) => {
+                eprintln!("  STORE FAILED: verify: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("unknown store action '{other}'; use one of: stats, compact, verify");
+            std::process::exit(2);
+        }
+    };
+    save("STORE_run.json", &json);
 }
 
 fn run_scaling() {
@@ -492,6 +582,10 @@ fn main() {
     if arg == "serve" {
         run_serve(std::env::args().nth(2).as_deref());
     }
+    // Store maintenance operates on the serving store in place.
+    if arg == "store" {
+        run_store(std::env::args().nth(2).as_deref());
+    }
     if !all
         && ![
             "excitation",
@@ -515,11 +609,12 @@ fn main() {
             "fleet",
             "chaos",
             "serve",
+            "store",
         ]
         .contains(&arg.as_str())
     {
         eprintln!(
-            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, fleet, chaos, serve"
+            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, fleet, chaos, serve, store"
         );
         std::process::exit(2);
     }

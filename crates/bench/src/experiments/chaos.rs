@@ -1,7 +1,7 @@
 //! `repro chaos`: seeded fault-injection campaigns across the solver
 //! stack (`obd-linalg`, `obd-spice`, `obd-core`, `obd-atpg`,
-//! `obd-fleet`, `obd-store`), asserting the panic-free contract end to
-//! end.
+//! `obd-fleet`, `obd-store`, the supervised serve engine), asserting
+//! the panic-free contract end to end.
 //!
 //! Every operation runs under `catch_unwind` with chaos armed at a
 //! layer-specific rate. The injection counter is read before and after
@@ -446,7 +446,7 @@ fn run_store_layer(seed: u64, ops: u64) -> (LayerReport, obd_chaos::ChaosSnapsho
     obd_chaos::arm(seed ^ 0x6666_6666, rate);
     let mut fresh = 1_000u64;
     for op in 0..ops {
-        match op % 3 {
+        match op % 4 {
             0 => {
                 let k = key(fresh);
                 fresh += 1;
@@ -468,11 +468,21 @@ fn run_store_layer(seed: u64, ops: u64) -> (LayerReport, obd_chaos::ChaosSnapsho
                     Err(_) => OpOutcome::Reported,
                 });
             }
-            _ => {
+            2 => {
                 let k = key(3 + 4 * (op % 4)); // keys 3, 7, 11, 15: empty
                 rep.account(|| match store.get(k) {
                     Ok(_) => OpOutcome::Clean,
                     Err(StoreError::Corrupt { .. }) => OpOutcome::Degraded,
+                    Err(_) => OpOutcome::Reported,
+                });
+            }
+            _ => {
+                // Compaction under fire: a torn rewrite (the typed
+                // `CompactTorn`, or any I/O failure) aborts before the
+                // atomic swap — the live store is untouched and stays
+                // in service, so the error is cleanly *reported*.
+                rep.account(|| match store.compact() {
+                    Ok(_) => OpOutcome::Clean,
                     Err(_) => OpOutcome::Reported,
                 });
             }
@@ -481,6 +491,44 @@ fn run_store_layer(seed: u64, ops: u64) -> (LayerReport, obd_chaos::ChaosSnapsho
     let snap = obd_chaos::snapshot();
     obd_chaos::disarm();
     let _ = std::fs::remove_dir_all(&dir);
+    (rep, snap)
+}
+
+/// The serving layer: single-job noop batches under full supervision
+/// with `serve.worker_hang` armed hot. The hang point rolls once per
+/// job (on its first attempt) and the rolled bits plan how many
+/// consecutive attempts hang, so the outcome is a pure function of the
+/// chaos seed:
+///
+/// * plan within the retry budget — the watchdog requeues past the hung
+///   attempts and a later attempt completes the job — **recovered**;
+/// * plan exhausting the budget — the job is dead-lettered with a typed
+///   quarantine detail — **reported**.
+fn run_serve_layer(seed: u64, jobs: u64) -> (LayerReport, obd_chaos::ChaosSnapshot) {
+    use super::serve::{parse_batch, run_supervised, JobStatus, ServeOptions};
+
+    let rate = 700;
+    obd_chaos::arm(seed ^ 0x7777_7777, rate);
+    let mut rep = LayerReport::new("serve", rate);
+    for i in 0..jobs {
+        let batch = parse_batch(&format!(
+            "{{\"id\": \"chaos-{i}\", \"kind\": \"noop\", \"spins\": 512}}\n"
+        ));
+        let mut opts = ServeOptions::new(1);
+        opts.deadline_ms = 40;
+        opts.max_retries = 2;
+        opts.backoff_base_ms = 4;
+        rep.account(|| {
+            let report = run_supervised(&batch, &opts);
+            match report.jobs.first().map(|j| j.status) {
+                Some(JobStatus::Done) => OpOutcome::Clean,
+                Some(JobStatus::Degraded) => OpOutcome::Degraded,
+                _ => OpOutcome::Reported,
+            }
+        });
+    }
+    let snap = obd_chaos::snapshot();
+    obd_chaos::disarm();
     (rep, snap)
 }
 
@@ -498,6 +546,7 @@ pub fn run_with_scale(seed: u64, scale: u64) -> ChaosReport {
         run_atpg_layer(seed, 4 * scale),
         run_fleet_layer(seed, 500 * scale),
         run_store_layer(seed, 120 * scale),
+        run_serve_layer(seed, 4 * scale),
     ] {
         merge_points(&mut points, &snap);
         layers.push(rep);

@@ -69,10 +69,9 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
     let cold = DelayCache::persistent(std::sync::Arc::clone(&store));
     let _ =
         DelayTable::from_characterization_cached(tech, cfg, &cold).map_err(|e| e.to_string())?;
-    let warm = DelayCache::persistent(store);
+    let warm = DelayCache::persistent(std::sync::Arc::clone(&store));
     let _ =
         DelayTable::from_characterization_cached(tech, cfg, &warm).map_err(|e| e.to_string())?;
-    let _ = std::fs::remove_dir_all(&store_dir);
 
     // Mini serve batch: one real grade job plus a poisoned one, a single
     // worker — enough to drive the serve.* counters, the workers gauge,
@@ -83,6 +82,43 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
     );
     let serve_jobs = crate::experiments::serve::parse_batch(batch);
     let serve = crate::experiments::serve::run_batch(&serve_jobs, 1);
+
+    // Supervised serve flows, chaos-free. First a checkpoint round trip:
+    // the same noop batch twice through a ledger on the throwaway store
+    // — the second pass is served entirely from the ledger, which is
+    // what drives serve.jobs_replayed.
+    let ledger_batch = concat!(
+        "{\"id\": \"m-ck1\", \"kind\": \"noop\", \"spins\": 1024}\n",
+        "{\"id\": \"m-ck2\", \"kind\": \"noop\", \"spins\": 2048}\n",
+    );
+    let ledger_jobs = crate::experiments::serve::parse_batch(ledger_batch);
+    let digest = crate::experiments::serve::batch_digest(ledger_batch);
+    let mut ledger_opts = crate::experiments::serve::ServeOptions::new(1);
+    ledger_opts.ledger = Some((&store, digest));
+    let _ = crate::experiments::serve::run_supervised(&ledger_jobs, &ledger_opts);
+    let _ = crate::experiments::serve::run_supervised(&ledger_jobs, &ledger_opts);
+
+    // Then the watchdog path: one grade job far slower than a 2 ms
+    // heartbeat deadline (grades only beat at attempt start). The first
+    // stale attempt is requeued (serve.retries, serve.watchdog_restarts),
+    // the second exhausts the single-retry budget and the job is
+    // quarantined (serve.dead_lettered) — all deterministic, no chaos.
+    let slow_batch = "{\"id\": \"m-slow\", \"kind\": \"grade\", \"circuit\": \"csa32\", \"tests\": 64, \"seed\": 9}\n";
+    let slow_jobs = crate::experiments::serve::parse_batch(slow_batch);
+    let mut slow_opts = crate::experiments::serve::ServeOptions::new(1);
+    slow_opts.deadline_ms = 2;
+    slow_opts.max_retries = 1;
+    slow_opts.backoff_base_ms = 1;
+    let _ = crate::experiments::serve::run_supervised(&slow_jobs, &slow_opts);
+
+    // Store maintenance: overwrite a record so compaction has something
+    // to reclaim (store.compactions, store.compact_reclaimed_bytes).
+    let dead_key = obd_store::Digest::new("metrics.compact").u64(1).finish();
+    let _ = store.put(dead_key, b"superseded payload");
+    let _ = store.put(dead_key, b"live payload");
+    store.compact().map_err(|e| e.to_string())?;
+    drop(store);
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     // ATPG flow on the paper's Fig. 8 sum circuit: PODEM generation plus
     // fault-simulation grading of the generated set.
@@ -142,8 +178,14 @@ pub fn render(r: &MetricsRunReport) -> String {
         "store.hits",
         "store.misses",
         "store.puts",
+        "store.compactions",
+        "store.compact_reclaimed_bytes",
         "serve.jobs_done",
         "serve.jobs_degraded",
+        "serve.jobs_replayed",
+        "serve.retries",
+        "serve.watchdog_restarts",
+        "serve.dead_lettered",
     ];
     for name in key_counters {
         let v = r.snapshot.counter(name).unwrap_or(0);
@@ -173,8 +215,13 @@ mod tests {
             "core.delay_store_hits",
             "store.hits",
             "store.puts",
+            "store.compactions",
             "serve.jobs_done",
             "serve.jobs_degraded",
+            "serve.jobs_replayed",
+            "serve.retries",
+            "serve.watchdog_restarts",
+            "serve.dead_lettered",
         ] {
             assert!(
                 r.snapshot.counter(name).unwrap_or(0) > 0,

@@ -47,6 +47,35 @@ fn store_layer_populates_every_bucket() {
     assert!(json.contains("store.read_corrupt"));
 }
 
+/// The serving layer under `serve.worker_hang`: hung attempts the
+/// watchdog requeues past are recovered, jobs whose planned hang count
+/// exhausts the retry budget are dead-lettered (reported) — and the
+/// ledger is exact either way, with zero panics.
+#[test]
+fn serve_layer_populates_recovered_and_reported() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let r = chaos::run_with_scale(33, 3);
+    let serve = r
+        .layers
+        .iter()
+        .find(|l| l.layer == "serve")
+        .expect("campaign must include the serve layer");
+    assert!(serve.injected > 0, "serve layer must see hang injections");
+    assert!(
+        serve.recovered > 0,
+        "watchdog retries must recover hung jobs: {serve:?}"
+    );
+    assert!(
+        serve.reported > 0,
+        "budget-exhausting hangs must dead-letter: {serve:?}"
+    );
+    assert_eq!(serve.panics, 0, "supervision must never panic");
+    assert!(serve.accounted(), "serve ledger must be exact: {serve:?}");
+    let json = r.to_json();
+    assert!(json.contains("serve.worker_hang"));
+    assert!(json.contains("store.compact_torn"));
+}
+
 #[test]
 fn same_seed_replays_identical_accounting() {
     let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());

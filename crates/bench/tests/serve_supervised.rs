@@ -1,0 +1,103 @@
+//! Supervision tests for the serve engine in their own binary: the
+//! `serve.worker_hang` injection is process-global, so these must not
+//! share a process with tests expecting a clean engine.
+
+use std::sync::Mutex;
+
+use obd_bench::experiments::serve::{parse_batch, run_supervised, JobStatus, ServeOptions};
+
+/// Chaos arming is process-global; the tests in this binary serialize on
+/// this lock.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("obd-supervised-{tag}-{}", std::process::id()))
+}
+
+/// With every job's first attempt hanging (rate 1000), the watchdog must
+/// drive each job to a terminal state: recovered jobs took at least two
+/// attempts, dead-lettered ones exhausted exactly the retry budget.
+#[test]
+fn watchdog_requeues_hung_workers_until_done_or_dead() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let batch = parse_batch(concat!(
+        "{\"id\": \"h1\", \"kind\": \"noop\", \"spins\": 256}\n",
+        "{\"id\": \"h2\", \"kind\": \"noop\", \"spins\": 256}\n",
+        "{\"id\": \"h3\", \"kind\": \"noop\", \"spins\": 256}\n",
+        "{\"id\": \"h4\", \"kind\": \"noop\", \"spins\": 256}\n",
+    ));
+    let mut opts = ServeOptions::new(2);
+    opts.deadline_ms = 30;
+    opts.max_retries = 2;
+    opts.backoff_base_ms = 3;
+    obd_chaos::arm(0xD06, 1000);
+    let report = run_supervised(&batch, &opts);
+    obd_chaos::disarm();
+    assert_eq!(report.jobs.len(), 4);
+    assert_eq!(
+        report.count(JobStatus::Panicked),
+        0,
+        "no panics under chaos"
+    );
+    assert_eq!(report.count(JobStatus::Degraded), 0, "noop cannot degrade");
+    for j in &report.jobs {
+        assert!(j.hangs >= 1, "rate 1000: every first attempt hangs: {j:?}");
+        match j.status {
+            JobStatus::Done => {
+                assert!(
+                    j.attempts >= 2,
+                    "a recovered job needed a watchdog requeue: {j:?}"
+                );
+                assert!(j.attempts <= opts.max_retries + 1);
+            }
+            JobStatus::DeadLettered => {
+                assert_eq!(
+                    j.attempts,
+                    opts.max_retries + 1,
+                    "dead-letter only after the full budget: {j:?}"
+                );
+                assert!(j.detail.contains("no heartbeat"), "detail: {}", j.detail);
+            }
+            other => panic!("unexpected status {other:?} for {j:?}"),
+        }
+    }
+}
+
+/// With a zero retry budget every hung job must be quarantined: the
+/// batch still drains, the dead-letter file names every job, and the
+/// stream records each terminal outcome.
+#[test]
+fn zero_retry_budget_quarantines_every_hung_job() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dl_path = temp_path("dead-letter.jsonl");
+    let stream_path = temp_path("stream.jsonl");
+    let _ = std::fs::remove_file(&dl_path);
+    let _ = std::fs::remove_file(&stream_path);
+    let batch = parse_batch(concat!(
+        "{\"id\": \"q1\", \"kind\": \"noop\", \"spins\": 256}\n",
+        "{\"id\": \"q2\", \"kind\": \"noop\", \"spins\": 256}\n",
+    ));
+    let mut opts = ServeOptions::new(1);
+    opts.deadline_ms = 20;
+    opts.max_retries = 0;
+    opts.backoff_base_ms = 2;
+    opts.dead_letter_path = Some(dl_path.clone());
+    opts.stream_path = Some(stream_path.clone());
+    obd_chaos::arm(0xDEAD, 1000);
+    let report = run_supervised(&batch, &opts);
+    obd_chaos::disarm();
+    assert_eq!(
+        report.count(JobStatus::DeadLettered),
+        2,
+        "no retries: every hung job is quarantined: {report:?}"
+    );
+    assert!(report.clean(), "dead-lettered jobs are handled, not panics");
+    let dl = std::fs::read_to_string(&dl_path).expect("quarantine file must exist");
+    assert!(dl.contains("\"q1\"") && dl.contains("\"q2\""), "dl: {dl}");
+    assert!(dl.contains("no heartbeat"));
+    let stream = std::fs::read_to_string(&stream_path).expect("stream must exist");
+    assert_eq!(stream.lines().count(), 2, "one stream line per job");
+    assert!(stream.contains("\"status\": \"dead_lettered\""));
+    let _ = std::fs::remove_file(&dl_path);
+    let _ = std::fs::remove_file(&stream_path);
+}

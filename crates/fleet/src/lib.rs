@@ -42,11 +42,18 @@
 // tests keep the ergonomic forms.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod coverage;
 pub mod device;
 pub mod report;
 pub mod schedule;
 pub mod sim;
+
+/// Circuits selectable by name for fleet and serve workloads
+/// (`OBD_FLEET_CIRCUIT`, a serve job's `circuit` field). The names are
+/// owned here so [`FleetError::UnknownCircuit`] can always list them;
+/// the front-end maps each name to its netlist constructor.
+pub const VALID_CIRCUITS: &[&str] = &["c17", "rca32", "csa32", "mult16"];
 
 /// NaN-rejecting positivity check used by the scheduler and the config
 /// validator: `true` iff `x` is a finite, strictly positive number.
@@ -57,7 +64,7 @@ pub(crate) fn positive(x: f64) -> bool {
 pub use coverage::BistProfile;
 pub use device::{DeviceOutcome, DeviceParams, DeviceResult};
 pub use report::FleetReport;
-pub use sim::{run_fleet, FleetConfig, FleetModel, SchedulePolicy};
+pub use sim::{run_fleet, run_fleet_resumable, FleetConfig, FleetModel, SchedulePolicy};
 
 /// Typed failures of the fleet layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +76,12 @@ pub enum FleetError {
     InvalidConfig(String),
     /// Grading the BIST coverage profile failed in `obd-atpg`.
     Grading(String),
+    /// A circuit name (env override or serve job field) matched none of
+    /// [`VALID_CIRCUITS`].
+    UnknownCircuit {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -79,6 +92,13 @@ impl std::fmt::Display for FleetError {
             }
             FleetError::InvalidConfig(m) => write!(f, "invalid fleet configuration: {m}"),
             FleetError::Grading(m) => write!(f, "BIST coverage grading failed: {m}"),
+            FleetError::UnknownCircuit { name } => {
+                write!(
+                    f,
+                    "unknown circuit '{name}' (valid: {})",
+                    VALID_CIRCUITS.join(", ")
+                )
+            }
         }
     }
 }

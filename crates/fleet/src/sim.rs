@@ -275,6 +275,32 @@ pub fn resolve_threads(cfg: &FleetConfig) -> usize {
     requested.clamp(1, cfg.devices.clamp(1, 64) as usize)
 }
 
+/// Shared tail of every fleet driver: sorts latencies, records the
+/// campaign-level metrics and assembles the report.
+fn finish(
+    cfg: &FleetConfig,
+    profile: &BistProfile,
+    threads: usize,
+    mut acc: FleetAccum,
+) -> FleetReport {
+    acc.latencies_mh.sort_unstable();
+
+    DEVICES_SIMULATED.add(acc.devices);
+    BIST_SESSIONS.add(acc.sessions);
+    DETECTIONS.add(acc.detected);
+    ESCAPES.add(acc.escaped);
+    DEVICES_POISONED.add(acc.poisoned);
+    SHARDS.set(threads as f64);
+    let report = FleetReport::build(cfg, profile, threads, acc);
+    ESCAPE_RATE.set(report.escape_rate());
+    if obd_metrics::enabled() {
+        for &mh in &report.accum.latencies_mh {
+            DETECTION_LATENCY_MH.record(mh);
+        }
+    }
+    report
+}
+
 /// Runs the whole fleet and aggregates the report.
 ///
 /// # Errors
@@ -316,22 +342,113 @@ pub fn run_fleet(cfg: &FleetConfig, profile: &BistProfile) -> Result<FleetReport
             acc.merge(shard?);
         }
     }
-    acc.latencies_mh.sort_unstable();
+    Ok(finish(cfg, profile, threads, acc))
+}
 
-    DEVICES_SIMULATED.add(acc.devices);
-    BIST_SESSIONS.add(acc.sessions);
-    DETECTIONS.add(acc.detected);
-    ESCAPES.add(acc.escaped);
-    DEVICES_POISONED.add(acc.poisoned);
-    SHARDS.set(threads as f64);
-    let report = FleetReport::build(cfg, profile, threads, acc);
-    ESCAPE_RATE.set(report.escape_rate());
-    if obd_metrics::enabled() {
-        for &mh in &report.accum.latencies_mh {
-            DETECTION_LATENCY_MH.record(mh);
+/// Runs the fleet in fixed device-id checkpoint blocks, replaying every
+/// block already present in `store` and simulating only the rest. With
+/// `store = None` this is just a block-partitioned run.
+///
+/// The emitted report is byte-identical to [`run_fleet`]'s for the same
+/// config: per-device streams are partition-independent, block merges
+/// happen in block order, and the latency vector is sorted once at the
+/// end. Workers pull blocks from a shared queue, so a block is never
+/// simulated twice in one run; completed blocks are checkpointed
+/// immediately (best-effort), which is what bounds the work a `kill -9`
+/// can destroy.
+///
+/// # Errors
+///
+/// As [`run_fleet`]. Checkpoint load/store failures are *not* errors —
+/// a bad frame is recomputed, a failed write is retried next run.
+pub fn run_fleet_resumable(
+    cfg: &FleetConfig,
+    profile: &BistProfile,
+    store: Option<&obd_store::Store>,
+    block_devices: u64,
+) -> Result<FleetReport, FleetError> {
+    validate(cfg, profile)?;
+    let block = block_devices.max(1);
+    let threads = resolve_threads(cfg);
+    let nblocks = cfg.devices.div_ceil(block);
+    let campaign = crate::checkpoint::campaign_digest(cfg, profile);
+
+    // Block slots in block order; resumed blocks fill immediately.
+    let mut slots: Vec<Option<FleetAccum>> = (0..nblocks)
+        .map(|b| {
+            let lo = b * block;
+            let hi = ((b + 1) * block).min(cfg.devices);
+            store.and_then(|s| crate::checkpoint::load_block(s, campaign, lo, hi))
+        })
+        .collect();
+    let pending: Vec<(usize, u64, u64)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| {
+            let lo = i as u64 * block;
+            (i, lo, (lo + block).min(cfg.devices))
+        })
+        .collect();
+
+    if !pending.is_empty() {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let drain = || {
+            let mut out: Vec<(usize, Result<FleetAccum, FleetError>)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(slot, lo, hi)) = pending.get(i) else {
+                    break;
+                };
+                let r = simulate_range(cfg, profile, lo, hi);
+                if let (Some(s), Ok(acc)) = (store, &r) {
+                    crate::checkpoint::store_block(s, campaign, lo, hi, acc);
+                }
+                out.push((slot, r));
+            }
+            out
+        };
+        let workers = threads.min(pending.len());
+        let mut done: Vec<(usize, Result<FleetAccum, FleetError>)> = Vec::new();
+        if workers == 1 {
+            done = drain();
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(drain)).collect();
+                for h in handles {
+                    done.extend(h.join().unwrap_or_else(|_| {
+                        vec![(
+                            usize::MAX,
+                            Err(FleetError::InvalidConfig(
+                                "worker thread panicked".to_string(),
+                            )),
+                        )]
+                    }));
+                }
+            });
+        }
+        for (slot, r) in done {
+            let acc = r?;
+            if let Some(s) = slots.get_mut(slot) {
+                *s = Some(acc);
+            }
         }
     }
-    Ok(report)
+
+    let mut acc = FleetAccum::default();
+    for s in slots {
+        match s {
+            Some(b) => acc.merge(b),
+            // A slot can only be empty if its worker panicked without a
+            // typed error — surface that instead of undercounting.
+            None => {
+                return Err(FleetError::InvalidConfig(
+                    "checkpoint block missing after drain".to_string(),
+                ))
+            }
+        }
+    }
+    Ok(finish(cfg, profile, threads, acc))
 }
 
 #[cfg(test)]
@@ -397,6 +514,54 @@ mod tests {
         let mut bad = small_cfg(0);
         bad.devices = 0;
         assert!(run_fleet(&bad, &profile).is_err());
+    }
+
+    #[test]
+    fn resumable_matches_plain_run_byte_identically() {
+        let cfg = small_cfg(997);
+        let profile = ideal_profile(&cfg);
+        let plain = run_fleet(&cfg, &profile).unwrap().to_json();
+        // No store, odd block size, forced multi-thread: same bytes.
+        let mut threaded = cfg.clone();
+        threaded.threads = 4;
+        let blocked = run_fleet_resumable(&threaded, &profile, None, 100)
+            .unwrap()
+            .to_json();
+        assert_eq!(plain, blocked);
+    }
+
+    #[test]
+    fn resume_replays_checkpointed_blocks_and_matches_bytes() {
+        let dir = std::env::temp_dir().join(format!("obd-fleet-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = small_cfg(503);
+        let profile = ideal_profile(&cfg);
+        let reference = run_fleet(&cfg, &profile).unwrap().to_json();
+
+        let store = obd_store::Store::open(&dir).unwrap();
+        // First pass populates one checkpoint frame per block.
+        let first = run_fleet_resumable(&cfg, &profile, Some(&store), 100)
+            .unwrap()
+            .to_json();
+        assert_eq!(first, reference);
+        assert_eq!(store.len(), 6, "503 devices / block 100 = 6 blocks");
+        let puts_after_first = store.puts();
+
+        // Second pass replays every block from the store: zero new
+        // frames, identical bytes — this is the resume path.
+        let second = run_fleet_resumable(&cfg, &profile, Some(&store), 100)
+            .unwrap()
+            .to_json();
+        assert_eq!(second, reference);
+        assert_eq!(store.puts(), puts_after_first, "resume must not rewrite");
+
+        // A different campaign (other seed) shares no frames.
+        let mut other = cfg.clone();
+        other.seed ^= 0xDEAD;
+        let _ = run_fleet_resumable(&other, &profile, Some(&store), 100).unwrap();
+        assert_eq!(store.len(), 12);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Length-prefixed binary codec for checkpoint payloads.
+//!
+//! Checkpoint frames (fleet shard accumulators, serve job ledgers) are
+//! stored as [`crate::Store`] records, whose framing already gives
+//! whole-record atomicity and checksums. What it does not give is a
+//! *structured* payload: this module is the hand-rolled, zero-dependency
+//! encoder/decoder the checkpoint writers share, so every field is
+//! little-endian, every string and byte run is length-prefixed, and a
+//! decoder can prove it consumed exactly the bytes the encoder produced
+//! ([`Dec::finish`]).
+//!
+//! Floats travel by exact bit pattern ([`Enc::f64`]), matching the
+//! digest convention in [`crate::Digest::f64`]: resume must be
+//! bit-exact, not approximately equal.
+
+use std::fmt;
+
+/// Typed decode failures. A checkpoint that fails to decode is treated
+/// like a corrupt store record: dropped, recomputed, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the field did.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were left.
+        remaining: usize,
+    },
+    /// The payload had bytes left after the last expected field — the
+    /// schema the encoder used is not the one the decoder expects.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "payload truncated: field needs {needed} bytes, {remaining} remain"
+                )
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(
+                    f,
+                    "payload has {remaining} trailing bytes after the last field"
+                )
+            }
+            CodecError::BadUtf8 => write!(f, "string field holds invalid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends fields to a byte buffer. Builder-style: every method returns
+/// `self`, and [`Enc::finish`] yields the payload.
+///
+/// ```
+/// use obd_store::codec::{Dec, Enc};
+/// let bytes = Enc::new().u64(7).str("c17").bool(true).finish();
+/// let mut dec = Dec::new(&bytes);
+/// assert_eq!(dec.u64().unwrap(), 7);
+/// assert_eq!(dec.str().unwrap(), "c17");
+/// assert!(dec.bool().unwrap());
+/// dec.finish().unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Appends a byte.
+    #[must_use]
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    #[must_use]
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    #[must_use]
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` by exact bit pattern.
+    #[must_use]
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a bool as one byte.
+    #[must_use]
+    pub fn bool(self, v: bool) -> Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Appends a length-prefixed byte run.
+    #[must_use]
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    #[must_use]
+    pub fn str(self, v: &str) -> Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads fields back in encoder order, tracking its position; every
+/// read is bounds-checked and surfaces [`CodecError::Truncated`]
+/// instead of slicing out of range.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] past the end of the payload.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] past the end of the payload.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] past the end of the payload.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` by exact bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] past the end of the payload.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte (any nonzero is `true`).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] past the end of the payload.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a length-prefixed byte run.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the prefix or the run itself
+    /// outruns the payload.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Truncated {
+            needed: usize::MAX,
+            remaining: self.buf.len() - self.pos,
+        })?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] as [`Dec::bytes`];
+    /// [`CodecError::BadUtf8`] when the bytes are not UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Proves the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] when bytes remain.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.pos != self.buf.len() {
+            return Err(CodecError::TrailingBytes {
+                remaining: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_field_kinds_roundtrip() {
+        let bytes = Enc::new()
+            .u8(0xAB)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX - 1)
+            .f64(-0.0)
+            .bool(true)
+            .bool(false)
+            .str("αβ utf-8")
+            .bytes(&[1, 2, 3])
+            .str("")
+            .finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        // Bit-exact: -0.0 must come back as -0.0, not 0.0.
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "αβ utf-8");
+        assert_eq!(d.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(d.str().unwrap(), "");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_a_typed_error() {
+        let bytes = Enc::new().u64(7).str("hello").u32(9).finish();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            let r = (|| -> Result<(), CodecError> {
+                d.u64()?;
+                d.str()?;
+                d.u32()?;
+                Ok(())
+            })();
+            assert!(
+                matches!(r, Err(CodecError::Truncated { .. })),
+                "cut at {cut} must be Truncated, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_utf8_are_typed() {
+        let bytes = Enc::new().u64(1).u8(0).finish();
+        let mut d = Dec::new(&bytes);
+        d.u64().unwrap();
+        assert_eq!(d.finish(), Err(CodecError::TrailingBytes { remaining: 1 }));
+        let bad = Enc::new().bytes(&[0xFF, 0xFE]).finish();
+        let mut d = Dec::new(&bad);
+        assert_eq!(d.str(), Err(CodecError::BadUtf8));
+    }
+}

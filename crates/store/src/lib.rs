@@ -33,20 +33,41 @@
 //!   frame is on disk, so concurrent readers never observe a torn
 //!   record.
 //!
+//! Lifecycle (PR 8):
+//!
+//! - **Single writer.** Opening takes an advisory lock file
+//!   (`obd.store.lock`) holding the owner PID, so two processes can
+//!   never interleave appends; a lock whose holder is dead is stolen,
+//!   a second open in the same process is refused with a typed
+//!   [`StoreError::Locked`]. The lock is released on drop.
+//! - **Compaction.** [`Store::compact`] rewrites the live records to a
+//!   temp file in log order and atomically renames it over the store.
+//!   A crash at any point leaves either the old file (rename not yet
+//!   issued) or the new file (rename durable) fully valid — there is no
+//!   in-between state, because the old file is never modified.
+//! - **Maintenance.** [`Store::file_stats`] reports live/dead frame
+//!   counts without touching the index; [`Store::verify`] re-reads and
+//!   re-checksums every live record, dropping any that rotted.
+//!
 //! Chaos: [`store.write_torn`] truncates a just-written record
 //! mid-frame (simulating a crash during append) and surfaces
 //! [`StoreError::TornWrite`]; the torn tail is healed on the next put
 //! or the next open. [`store.read_corrupt`] flips one bit of a payload
 //! after it is read, which the checksum then catches.
+//! [`store.compact_torn`] aborts a compaction mid-rewrite, leaving a
+//! torn temp file behind and the live store untouched.
 //!
 //! [`store.write_torn`]: StoreError::TornWrite
 //! [`store.read_corrupt`]: StoreError::Corrupt
+//! [`store.compact_torn`]: StoreError::CompactTorn
 
 // Library code must surface failures as typed errors, never panic;
 // tests keep the ergonomic forms.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use std::collections::HashMap;
+pub mod codec;
+
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -70,6 +91,12 @@ static STORE_CORRUPT_RECORDS: Counter = Counter::new("store.corrupt_records");
 static STORE_QUARANTINED: Counter = Counter::new("store.quarantined");
 /// Appends torn by fault injection.
 static STORE_TORN_WRITES: Counter = Counter::new("store.torn_writes");
+/// Compactions that completed (old file atomically replaced).
+static STORE_COMPACTIONS: Counter = Counter::new("store.compactions");
+/// Bytes reclaimed by completed compactions.
+static STORE_COMPACT_RECLAIMED: Counter = Counter::new("store.compact_reclaimed_bytes");
+/// Lock files stolen from dead holders at open.
+static STORE_LOCK_STEALS: Counter = Counter::new("store.lock_steals");
 
 /// Chaos: tear a just-completed append mid-record, simulating a crash
 /// between the write and its completion.
@@ -77,6 +104,9 @@ static CHAOS_WRITE_TORN: InjectionPoint = InjectionPoint::new("store.write_torn"
 /// Chaos: flip one payload bit after a read, before checksum
 /// verification — disk bit-rot in miniature.
 static CHAOS_READ_CORRUPT: InjectionPoint = InjectionPoint::new("store.read_corrupt");
+/// Chaos: abort a compaction mid-rewrite (crash before the atomic
+/// rename), leaving a torn temp file and the live store untouched.
+static CHAOS_COMPACT_TORN: InjectionPoint = InjectionPoint::new("store.compact_torn");
 
 /// On-disk format version stamped into the header.
 pub const FORMAT_VERSION: u16 = 1;
@@ -132,6 +162,14 @@ pub const STORE_FILE: &str = "obd.store";
 /// Quarantine file name a damaged store is renamed to.
 pub const QUARANTINE_FILE: &str = "obd.store.quarantined";
 
+/// Advisory single-writer lock file name inside the store directory.
+/// Holds the owner's PID in ASCII decimal.
+pub const LOCK_FILE: &str = "obd.store.lock";
+
+/// Temp file a compaction rewrites live records into before the atomic
+/// rename. A stale one (crash mid-compaction) is deleted at open.
+pub const COMPACT_TMP_FILE: &str = "obd.store.compact.tmp";
+
 const MAGIC: [u8; 8] = *b"OBDSTORE";
 const HEADER_LEN: u64 = 16;
 /// `digest (8) + len (4) + checksum (8)`.
@@ -168,6 +206,15 @@ pub enum StoreError {
         /// Offending payload length.
         len: usize,
     },
+    /// The store directory is already held by a live writer — another
+    /// process's lock file, or a second open in this process.
+    Locked {
+        /// PID recorded in the lock file.
+        pid: u32,
+    },
+    /// Fault injection aborted a compaction before the atomic rename;
+    /// the original store file is intact and stays in service.
+    CompactTorn,
 }
 
 impl std::fmt::Display for StoreError {
@@ -190,6 +237,12 @@ impl std::fmt::Display for StoreError {
                 write!(f, "append of record {digest:#018x} torn by fault injection")
             }
             StoreError::TooLarge { len } => write!(f, "payload of {len} bytes exceeds u32 framing"),
+            StoreError::Locked { pid } => {
+                write!(f, "store is locked by live process {pid} (single writer)")
+            }
+            StoreError::CompactTorn => {
+                write!(f, "compaction aborted by fault injection before the swap")
+            }
         }
     }
 }
@@ -319,13 +372,122 @@ struct Writer {
 /// ```
 #[derive(Debug)]
 pub struct Store {
+    dir: PathBuf,
+    /// Canonicalized directory — the key under which this open is
+    /// registered in the per-process double-open registry.
+    canonical: PathBuf,
     path: PathBuf,
-    reader: File,
+    version: u16,
+    /// Shared read handle. A compaction swaps the file out under an
+    /// exclusive write lock; readers hold the read lock across the
+    /// index probe *and* the positioned read, so an index entry is only
+    /// ever resolved against the file generation it was built from.
+    reader: RwLock<File>,
     writer: Mutex<Writer>,
     index: RwLock<HashMap<u64, IndexEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     puts: AtomicU64,
+}
+
+/// Directories currently open in this process — a same-process double
+/// open cannot be caught by the PID lock file (the PID is alive: ours),
+/// so it is refused here.
+fn open_registry() -> &'static Mutex<HashSet<PathBuf>> {
+    static REGISTRY: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Whether `pid` names a live process. Our own PID is always live. On
+/// non-Linux hosts there is no portable probe; a foreign lock is
+/// assumed stale (the lock is advisory, and single-host deployments of
+/// this suite are Linux).
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        false
+    }
+}
+
+/// Takes the advisory lock file in `dir`, stealing it from a dead
+/// holder. `O_CREAT|O_EXCL` makes creation atomic; the PID is written
+/// immediately after, so the lock is momentarily empty — an empty or
+/// unparsable lock is treated as stale.
+fn acquire_lock(dir: &Path) -> Result<(), StoreError> {
+    let lock = dir.join(LOCK_FILE);
+    for _ in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(&lock) {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(&lock)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid_alive(pid) => return Err(StoreError::Locked { pid }),
+                    _ => {
+                        // Dead holder (or garbage): steal and retry.
+                        let _ = fs::remove_file(&lock);
+                        STORE_LOCK_STEALS.inc();
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let pid = fs::read_to_string(&lock)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    Err(StoreError::Locked { pid })
+}
+
+/// Rolls back a partially-completed open: deregisters the directory and
+/// removes the lock file unless [`OpenGuard::disarm`] ran first.
+struct OpenGuard {
+    canonical: PathBuf,
+    lock_path: Option<PathBuf>,
+    armed: bool,
+}
+
+impl OpenGuard {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for OpenGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Some(p) = &self.lock_path {
+                let _ = fs::remove_file(p);
+            }
+            open_registry()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&self.canonical);
+        }
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(self.dir.join(LOCK_FILE));
+        open_registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.canonical);
+    }
 }
 
 /// What the open-time scan of an existing file found.
@@ -347,7 +509,8 @@ impl Store {
     ///
     /// [`StoreError::Io`] on filesystem failures;
     /// [`StoreError::VersionMismatch`] when the file on disk was written
-    /// by a different format version.
+    /// by a different format version; [`StoreError::Locked`] when a live
+    /// process (possibly this one) already holds the directory.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         Self::open_with_version(dir, FORMAT_VERSION)
     }
@@ -362,6 +525,33 @@ impl Store {
     pub fn open_with_version(dir: impl AsRef<Path>, version: u16) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
+        let canonical = dir.canonicalize()?;
+
+        // Same-process double open: refused before touching the lock
+        // file (our own PID would read as a live holder anyway, but the
+        // registry gives the check a deterministic answer).
+        {
+            let mut reg = open_registry()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !reg.insert(canonical.clone()) {
+                return Err(StoreError::Locked {
+                    pid: std::process::id(),
+                });
+            }
+        }
+        let mut guard = OpenGuard {
+            canonical: canonical.clone(),
+            lock_path: None,
+            armed: true,
+        };
+        acquire_lock(dir)?;
+        guard.lock_path = Some(dir.join(LOCK_FILE));
+
+        // A temp file left by a compaction that crashed before its
+        // rename is garbage — the live store file is still the truth.
+        let _ = fs::remove_file(dir.join(COMPACT_TMP_FILE));
+
         let path = dir.join(STORE_FILE);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
@@ -406,9 +596,13 @@ impl Store {
         let writer = OpenOptions::new().read(true).write(true).open(&path)?;
         let committed = writer.metadata()?.len();
         let reader = File::open(&path)?;
+        guard.disarm();
         Ok(Store {
+            dir: dir.to_path_buf(),
+            canonical,
             path: path.clone(),
-            reader,
+            version,
+            reader: RwLock::new(reader),
             writer: Mutex::new(Writer {
                 file: writer,
                 committed,
@@ -514,6 +708,11 @@ impl Store {
     /// when the payload fails its checksum (the record is dropped from
     /// the index, so the next get is a plain miss).
     pub fn get(&self, digest: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        // The reader lock is held across the index probe and the read:
+        // a compaction swaps file and index together under the write
+        // lock, so an entry can never be resolved against the wrong
+        // file generation.
+        let reader = self.reader.read().unwrap_or_else(PoisonError::into_inner);
         let entry = self
             .index
             .read()
@@ -526,7 +725,7 @@ impl Store {
             return Ok(None);
         };
         let mut buf = vec![0u8; entry.len as usize];
-        read_exact_at(&self.reader, &self.path, &mut buf, entry.offset)?;
+        read_exact_at(&reader, &self.path, &mut buf, entry.offset)?;
         if let Some(bits) = CHAOS_READ_CORRUPT.roll() {
             if buf.is_empty() {
                 // Nothing to flip in an empty payload; the injection
@@ -556,6 +755,231 @@ impl Store {
             .unwrap_or_else(PoisonError::into_inner)
             .contains_key(&digest)
     }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Rewrites the live records to a temp file in log order and
+    /// atomically renames it over the store file. Superseded records
+    /// (older appends under a reused digest) are reclaimed; records
+    /// that fail their checksum during the rewrite are dropped rather
+    /// than copied forward.
+    ///
+    /// Crash safety: the original file is never modified, and `rename`
+    /// on one filesystem is all-or-nothing — a crash at any point
+    /// leaves either the old file or the new file fully valid. A torn
+    /// temp file left behind by a crash is deleted at the next open.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures;
+    /// [`StoreError::CompactTorn`] when the [`store.compact_torn`]
+    /// injection aborts the rewrite before the swap (the live store is
+    /// untouched and stays in service).
+    ///
+    /// [`store.compact_torn`]: StoreError::CompactTorn
+    pub fn compact(&self) -> Result<CompactReport, StoreError> {
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Heal any torn tail first so `before_bytes` is the durable
+        // prefix, not injection debris.
+        if w.file.metadata()?.len() != w.committed {
+            let committed = w.committed;
+            w.file.set_len(committed)?;
+        }
+        let before_bytes = w.committed;
+        let mut entries: Vec<(u64, IndexEntry)> = {
+            let idx = self.index.read().unwrap_or_else(PoisonError::into_inner);
+            idx.iter().map(|(&d, &e)| (d, e)).collect()
+        };
+        // Log order, so the compacted file scans in the same sequence
+        // the records were committed.
+        entries.sort_by_key(|&(_, e)| e.offset);
+
+        // One roll decides whether (and where) this compaction "crashes":
+        // after `torn_at` whole records, mid-way through the next frame.
+        let torn_at = CHAOS_COMPACT_TORN
+            .roll()
+            .map(|bits| bits as usize % (entries.len() + 1));
+
+        let tmp_path = self.dir.join(COMPACT_TMP_FILE);
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&header_bytes(self.version))?;
+        let mut new_index = HashMap::with_capacity(entries.len());
+        let mut pos = HEADER_LEN;
+        let mut dropped = 0usize;
+        for (i, &(digest, e)) in entries.iter().enumerate() {
+            if torn_at == Some(i) {
+                // Simulated crash mid-rewrite: a partial frame in the
+                // temp file, no rename. The live store is untouched.
+                let _ = tmp.write_all(&digest.to_le_bytes());
+                let _ = tmp.sync_all();
+                return Err(StoreError::CompactTorn);
+            }
+            let mut payload = vec![0u8; e.len as usize];
+            read_exact_at(&w.file, &self.path, &mut payload, e.offset)?;
+            if record_checksum(digest, &payload) != e.checksum {
+                dropped += 1;
+                STORE_CORRUPT_RECORDS.inc();
+                continue;
+            }
+            tmp.write_all(&digest.to_le_bytes())?;
+            tmp.write_all(&e.len.to_le_bytes())?;
+            tmp.write_all(&e.checksum.to_le_bytes())?;
+            tmp.write_all(&payload)?;
+            new_index.insert(
+                digest,
+                IndexEntry {
+                    offset: pos + FRAME_LEN,
+                    len: e.len,
+                    checksum: e.checksum,
+                },
+            );
+            pos += FRAME_LEN + u64::from(e.len);
+        }
+        if torn_at == Some(entries.len()) {
+            // Crash after the rewrite but before the swap: same story.
+            let _ = tmp.sync_all();
+            return Err(StoreError::CompactTorn);
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+
+        let live_records = new_index.len();
+        // Swap file and index together under the reader write lock, so
+        // no get can pair an old index entry with the new file.
+        let mut reader = self.reader.write().unwrap_or_else(PoisonError::into_inner);
+        fs::rename(&tmp_path, &self.path)?;
+        w.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        w.committed = pos;
+        *reader = File::open(&self.path)?;
+        *self.index.write().unwrap_or_else(PoisonError::into_inner) = new_index;
+        drop(reader);
+        drop(w);
+
+        let reclaimed = before_bytes.saturating_sub(pos);
+        STORE_COMPACTIONS.inc();
+        STORE_COMPACT_RECLAIMED.add(reclaimed);
+        Ok(CompactReport {
+            live_records,
+            dropped_records: dropped,
+            before_bytes,
+            after_bytes: pos,
+            reclaimed_bytes: reclaimed,
+        })
+    }
+
+    /// Scans the on-disk file and reports live vs. dead (superseded)
+    /// frames — the numbers [`Store::compact`] would act on. Takes the
+    /// writer lock so the file is stable during the scan.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn file_stats(&self) -> Result<StoreStats, StoreError> {
+        let _w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let bytes = fs::read(&self.path)?;
+        let scan = scan_records(&bytes);
+        let idx = self.index.read().unwrap_or_else(PoisonError::into_inner);
+        let mut live_records = 0usize;
+        let mut live_bytes = HEADER_LEN;
+        for &(digest, e) in &scan.records {
+            if idx.get(&digest).map(|cur| cur.offset) == Some(e.offset) {
+                live_records += 1;
+                live_bytes += FRAME_LEN + u64::from(e.len);
+            }
+        }
+        let total_records = scan.records.len();
+        let file_bytes = bytes.len() as u64;
+        Ok(StoreStats {
+            live_records,
+            total_records,
+            dead_records: total_records - live_records,
+            file_bytes,
+            live_bytes,
+            dead_bytes: file_bytes.saturating_sub(live_bytes),
+        })
+    }
+
+    /// Re-reads and re-checksums every live record, without fault
+    /// injection — this is the maintenance pass, not the failure path.
+    /// Records that rotted on disk are dropped from the index (the next
+    /// get is a clean miss) and counted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let reader = self.reader.read().unwrap_or_else(PoisonError::into_inner);
+        let entries: Vec<(u64, IndexEntry)> = {
+            let idx = self.index.read().unwrap_or_else(PoisonError::into_inner);
+            idx.iter().map(|(&d, &e)| (d, e)).collect()
+        };
+        let mut corrupt = Vec::new();
+        for &(digest, e) in &entries {
+            let mut payload = vec![0u8; e.len as usize];
+            read_exact_at(&reader, &self.path, &mut payload, e.offset)?;
+            if record_checksum(digest, &payload) != e.checksum {
+                corrupt.push(digest);
+            }
+        }
+        if !corrupt.is_empty() {
+            let mut idx = self.index.write().unwrap_or_else(PoisonError::into_inner);
+            for d in &corrupt {
+                idx.remove(d);
+                STORE_CORRUPT_RECORDS.inc();
+            }
+        }
+        Ok(VerifyReport {
+            checked: entries.len(),
+            valid: entries.len() - corrupt.len(),
+            corrupt: corrupt.len(),
+        })
+    }
+}
+
+/// What a completed [`Store::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Records carried into the new file.
+    pub live_records: usize,
+    /// Records dropped for failing their checksum during the rewrite.
+    pub dropped_records: usize,
+    /// File length before (durable prefix).
+    pub before_bytes: u64,
+    /// File length after.
+    pub after_bytes: u64,
+    /// Bytes reclaimed (`before - after`).
+    pub reclaimed_bytes: u64,
+}
+
+/// Live/dead frame accounting from [`Store::file_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Frames the index currently addresses.
+    pub live_records: usize,
+    /// All well-formed frames in the file, dead ones included.
+    pub total_records: usize,
+    /// Superseded frames a compaction would reclaim.
+    pub dead_records: usize,
+    /// On-disk file length.
+    pub file_bytes: u64,
+    /// Header plus live frames.
+    pub live_bytes: u64,
+    /// Bytes a compaction would reclaim.
+    pub dead_bytes: u64,
+}
+
+/// What [`Store::verify`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Records re-read and re-checksummed.
+    pub checked: usize,
+    /// Records that verified clean.
+    pub valid: usize,
+    /// Records dropped for failing their checksum.
+    pub corrupt: usize,
 }
 
 fn header_bytes(version: u16) -> [u8; HEADER_LEN as usize] {

@@ -41,6 +41,13 @@ assert "fleet.detection_latency_mh" in snap["histograms"], "fleet latency histog
 for key in ("store.puts", "store.hits", "core.delay_store_hits",
             "serve.jobs_done", "serve.jobs_degraded"):
     assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
+# The supervision layer runs chaos-free inside the stats flow: a ledger
+# round trip (replays), a stale-heartbeat grade job (one watchdog
+# requeue, then quarantine) and a store compaction with dead records.
+for key in ("serve.jobs_replayed", "serve.retries", "serve.watchdog_restarts",
+            "serve.dead_lettered", "store.compactions",
+            "store.compact_reclaimed_bytes"):
+    assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
 assert "serve.job_wall_ms" in snap["histograms"], "serve wall-time histogram missing"
 print(
     "METRICS_run.json ok:",
@@ -66,8 +73,14 @@ assert run["accounted"], "chaos accounting did not balance"
 assert run["injected_total"] >= 200, f"too few injections: {run['injected_total']}"
 assert run["recovered_total"] > 0, "no injection was recovered"
 layers = {l["layer"] for l in run["layers"] if l["injected"] > 0}
-assert layers == {"linalg", "spice", "core", "atpg", "fleet", "store"}, \
+assert layers == {"linalg", "spice", "core", "atpg", "fleet", "store", "serve"}, \
     f"layers missing injections: {layers}"
+serve = next(l for l in run["layers"] if l["layer"] == "serve")
+assert serve["panics"] == 0 and serve["injected"] == \
+    serve["recovered"] + serve["degraded"] + serve["reported"], \
+    f"serve hang ledger not exact: {serve}"
+assert "serve.worker_hang" in run["points"], "serve.worker_hang point missing"
+assert "store.compact_torn" in run["points"], "store.compact_torn point missing"
 print(
     "CHAOS_run.json ok:",
     f"injected={run['injected_total']}",
@@ -104,10 +117,12 @@ with open("results/SERVE_run.json") as f:
     run = json.load(f)
 assert run["jobs_total"] >= 10, f"batch too small: {run['jobs_total']}"
 assert run["panicked"] == 0, f"serve panicked: {run['panicked']}"
-terminal = {"done", "degraded", "panicked"}
+terminal = {"done", "degraded", "dead_lettered", "panicked"}
 assert all(j["status"] in terminal for j in run["jobs"]), "non-terminal job state"
 degraded = [j["id"] for j in run["jobs"] if j["status"] == "degraded"]
 assert degraded == ["px"], f"only the poisoned job may degrade: {degraded}"
+assert run["dead_lettered"] == 0, "no job should miss the generous deadline"
+assert run["replayed"] == 0, "cold pass must compute everything"
 assert run["store"]["enabled"], "serve must arm the persistent store"
 assert run["store"]["puts"] > 0, "cold pass must populate the store"
 print(f"SERVE_run.json cold ok: {run['jobs_total']} jobs, {run['done']} done, px degraded")
@@ -121,13 +136,84 @@ with open("results/SERVE_run.json") as f:
     run = json.load(f)
 assert run["panicked"] == 0 and run["done"] == run["jobs_total"] - 1
 assert run["store"]["hits"] > 0, "warm pass must be served from the store"
+assert run["replayed"] == run["jobs_total"], \
+    f"warm pass must be served entirely from the checkpoint ledger: {run['replayed']}"
 assert sum(j["store_hits"] for j in run["jobs"]) > 0, "no job saw an engine-side store hit"
-print(f"SERVE_run.json warm ok: store_hits={run['store']['hits']}")
+print(f"SERVE_run.json warm ok: store_hits={run['store']['hits']}, "
+      f"replayed={run['replayed']}")
 EOF
 diff -r results/serve.cold results/serve \
     || { echo "warm serve artifacts differ from cold"; exit 1; }
 rm -rf results/serve.cold results/store.ci results/serve_batch.ci.jsonl
-echo "serve smoke ok: mixed batch drained twice, warm pass store-served byte-identically"
+echo "serve smoke ok: mixed batch drained twice, warm pass ledger-replayed byte-identically"
+
+# Crash-recovery smoke, serve: SIGKILL a supervised batch mid-run, then
+# resume it from the checkpoint ledger. The recovered results/serve tree
+# (artifacts, canonical results, dead-letter file) must be byte-identical
+# to an uninterrupted reference run of the same batch.
+rm -rf results/killtest
+mkdir -p results/killtest/ref results/killtest/cut
+cat > results/killtest/batch.jsonl <<'EOF'
+{"id": "n0", "kind": "noop", "spins": 4096}
+{"id": "m1", "kind": "grade", "circuit": "mult16", "tests": 48, "seed": 31}
+{"id": "c1", "kind": "grade", "circuit": "csa32", "tests": 64, "seed": 32}
+{"id": "px", "kind": "grade", "circuit": "no-such-circuit"}
+{"id": "m2", "kind": "grade", "circuit": "mult16", "tests": 48, "seed": 33}
+{"id": "f1", "kind": "fleet", "circuit": "c17", "devices": 400000, "seed": 34}
+{"id": "c2", "kind": "grade", "circuit": "csa32", "tests": 64, "seed": 35}
+EOF
+cp results/killtest/batch.jsonl results/killtest/ref/
+cp results/killtest/batch.jsonl results/killtest/cut/
+REPRO="$PWD/target/release/repro"
+(cd results/killtest/ref && OBD_SERVE_THREADS=1 "$REPRO" serve batch.jsonl > /dev/null)
+(cd results/killtest/cut && exec env OBD_SERVE_THREADS=1 "$REPRO" serve batch.jsonl > /dev/null 2>&1) &
+KILL_PID=$!
+sleep 0.7
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+(cd results/killtest/cut && OBD_SERVE_THREADS=1 "$REPRO" serve batch.jsonl > /dev/null)
+diff -r results/killtest/ref/results/serve results/killtest/cut/results/serve \
+    || { echo "killed+resumed serve artifacts differ from uninterrupted run"; exit 1; }
+python3 - <<'EOF'
+import json
+
+with open("results/killtest/cut/results/SERVE_run.json") as f:
+    run = json.load(f)
+assert run["panicked"] == 0, f"resume panicked: {run['panicked']}"
+assert run["replayed"] >= 1, "resume must replay at least the completed jobs"
+print(f"serve kill smoke ok: {run['replayed']}/{run['jobs_total']} jobs replayed on resume")
+EOF
+
+# Crash-recovery smoke, fleet: SIGKILL a checkpointed million-device
+# campaign mid-run, resume it, and require FLEET_run.json to match an
+# uninterrupted reference run byte for byte.
+FLEET_ENV="OBD_FLEET_SEED=0x0BDFEE1 OBD_FLEET_DEVICES=1000003 OBD_FLEET_CKPT=65536"
+(cd results/killtest/ref && env $FLEET_ENV OBD_STORE_DIR=store "$REPRO" fleet > /dev/null)
+(cd results/killtest/cut && exec env $FLEET_ENV OBD_STORE_DIR=store "$REPRO" fleet > /dev/null 2>&1) &
+KILL_PID=$!
+sleep 0.5
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+(cd results/killtest/cut && env $FLEET_ENV OBD_STORE_DIR=store "$REPRO" fleet > /dev/null)
+cmp results/killtest/ref/results/FLEET_run.json results/killtest/cut/results/FLEET_run.json \
+    || { echo "killed+resumed FLEET_run.json differs from uninterrupted run"; exit 1; }
+echo "fleet kill smoke ok: resumed campaign byte-identical at 1,000,003 devices"
+
+# Smoke the store maintenance verb on the store the kill test left
+# behind: stats, compact and verify must all succeed and report sane,
+# parseable JSON (the kill may have left dead records and a stale lock).
+(cd results/killtest/cut && "$REPRO" store stats > /dev/null \
+    && "$REPRO" store compact > /dev/null && "$REPRO" store verify > /dev/null)
+python3 - <<'EOF'
+import json
+
+with open("results/killtest/cut/results/STORE_run.json") as f:
+    run = json.load(f)
+assert run["action"] == "verify"
+assert run["checked"] >= 1 and run["corrupt"] == 0, f"store verify failed: {run}"
+print(f"store verb smoke ok: {run['valid']}/{run['checked']} records verified clean")
+EOF
+rm -rf results/killtest
 
 # Smoke the analog-engine benchmark with the warm-start columns: the
 # store-backed rerun of Table 1 must be served entirely from disk and
