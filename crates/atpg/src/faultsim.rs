@@ -454,6 +454,30 @@ impl<'a> FaultSimulator<'a> {
         self.grade_parallel(faults, tests, threads)
     }
 
+    /// [`FaultSimulator::grade_parallel`] with an adaptive block width:
+    /// the leading tests grade at width 1 while faults drop fast, and the
+    /// survivors switch to the full super-lane engine once the drop rate
+    /// stabilizes ([`crate::ppsfp::grade_adaptive`]). The detection
+    /// vector is bit-identical with any fixed-width grader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection errors from any worker.
+    pub fn grade_adaptive(
+        &self,
+        faults: &[Fault],
+        tests: &[TwoPatternTest],
+        threads: usize,
+    ) -> Result<Vec<bool>, AtpgError> {
+        if faults.is_empty() {
+            return Ok(Vec::new());
+        }
+        let out = crate::ppsfp::grade_adaptive(self, tests, faults, threads)?;
+        FAULTS_GRADED.add(faults.len() as u64);
+        FAULTS_DETECTED.add(out.detected.iter().filter(|&&d| d).count() as u64);
+        Ok(out.detected)
+    }
+
     /// Builds the full detection matrix `matrix[t][f]` for compaction and
     /// exhaustive analysis, via per-fault packed detection rows.
     ///

@@ -19,7 +19,8 @@
 //!   analysis (the §4.3 full-adder statistics).
 //! * [`ppsfp`] — the bit-parallel PPSFP grading engine behind every
 //!   grading entry point: 64 tests per block, good responses cached per
-//!   block, fault dropping, work-stealing parallel shards.
+//!   block, fault dropping, work-stealing parallel shards, and an
+//!   adaptive block width for drop-heavy campaigns.
 //! * [`compact`] — greedy and exact set-cover compaction (the paper's
 //!   "necessary and sufficient" minimal sets).
 //! * [`random`] — random/weighted two-pattern baselines standing in for a
@@ -82,4 +83,4 @@ pub mod twoframe;
 
 pub use error::AtpgError;
 pub use fault::{DetectionCriterion, Fault, TwoPatternTest};
-pub use ppsfp::{PpsfpEngine, PpsfpScratch, SUPERLANE_WIDTH};
+pub use ppsfp::{grade_adaptive, AdaptiveGrade, PpsfpEngine, PpsfpScratch, SUPERLANE_WIDTH};

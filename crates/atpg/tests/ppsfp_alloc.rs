@@ -3,6 +3,7 @@
 //! number of faults against the packed blocks must not touch the heap.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -14,23 +15,35 @@ use obd_core::BreakdownStage;
 use obd_logic::circuits::c17;
 use obd_logic::netlist::Netlist;
 
-/// Counts heap operations while `COUNTING` is set; otherwise defers
-/// straight to the system allocator.
+/// Counts heap operations from the measured thread while `COUNTING` is
+/// set; otherwise defers straight to the system allocator.
 struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+thread_local! {
+    /// Set on the thread whose grading loop is being measured, so the
+    /// test harness's own threads cannot leak allocations into the
+    /// window. Const-init keeps reading the flag allocation-free inside
+    /// the allocator.
+    static MEASURED_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    COUNTING.load(Ordering::Relaxed) && MEASURED_THREAD.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -62,6 +75,7 @@ fn mixed_faults(nl: &Netlist) -> Vec<Fault> {
 #[test]
 fn warm_packed_grading_does_not_allocate() {
     let _guard = TEST_LOCK.lock().unwrap();
+    MEASURED_THREAD.with(|c| c.set(true));
     obd_metrics::disable();
 
     let nl = c17();

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper as text/CSV artifacts.
 //!
 //! ```text
-//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|bench|bench-atpg|fleet|chaos|serve|store]
+//! repro [all|table1|fig4|fig6|fig7|fig9|stats|excitation|tpg|em|window|scaling|iddq|monte|bench|bench-atpg|fleet|chaos|serve|store]
 //! ```
 //!
 //! Artifacts are written to `results/` in the current directory; a summary
@@ -12,8 +12,8 @@ use std::path::Path;
 
 use obd_bench::experiments::{
     atpg_bench, bist_eval, chaos, clock_sweep, em_contrast, excitation, fig4, fig9, fleet, iddq,
-    metrics_run, scaling, scan_eval, serve, spice_bench, stats, table1, tpg_compare, variation,
-    waveforms, window,
+    metrics_run, monte, scaling, scan_eval, serve, spice_bench, stats, table1, tpg_compare,
+    variation, waveforms, window,
 };
 use obd_cmos::TechParams;
 use obd_core::characterize::{BenchConfig, DelayTable};
@@ -296,6 +296,29 @@ fn run_variation() {
     }
 }
 
+fn run_monte(tech: &TechParams) {
+    println!("== Variation: Monte Carlo Table 1 signatures across corners (MONTE_run.json) ==");
+    let cfg = monte::config_from_env();
+    println!(
+        "  {} corners, seed {:#x}, spread {:.1}%, {} threads, at-speed {:.0} ps",
+        cfg.samples,
+        cfg.seed,
+        cfg.spread * 100.0,
+        cfg.threads,
+        cfg.at_speed_ps
+    );
+    match obd_core::monte::run_monte(tech, &cfg) {
+        Ok(r) => {
+            print!("{}", r.render());
+            save("MONTE_run.json", &r.render_json());
+        }
+        Err(e) => {
+            eprintln!("  MONTE RUN FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_spice_bench(tech: &TechParams) {
     println!("== Perf: analog-engine throughput (BENCH_spice.json) ==");
     match spice_bench::run(tech, &BenchConfig::table1()) {
@@ -450,24 +473,22 @@ fn run_store(action: Option<&str>) {
                 std::process::exit(1);
             }
         },
-        "compact" => {
-            match store.compact() {
-                Ok(r) => {
-                    println!(
-                    "  compacted: {} live records kept, {} dropped, {} -> {} bytes ({} reclaimed)",
-                    r.live_records, r.dropped_records, r.before_bytes, r.after_bytes, r.reclaimed_bytes
+        "compact" => match store.compact() {
+            Ok(r) => {
+                println!(
+                    "  compacted: {} live records kept, {} dropped, {} evicted, {} -> {} bytes ({} reclaimed)",
+                    r.live_records, r.dropped_records, r.evicted_records, r.before_bytes, r.after_bytes, r.reclaimed_bytes
                 );
-                    format!(
-                    "{{\n  \"action\": \"compact\",\n  \"live_records\": {},\n  \"dropped_records\": {},\n  \"before_bytes\": {},\n  \"after_bytes\": {},\n  \"reclaimed_bytes\": {}\n}}\n",
-                    r.live_records, r.dropped_records, r.before_bytes, r.after_bytes, r.reclaimed_bytes
+                format!(
+                    "{{\n  \"action\": \"compact\",\n  \"live_records\": {},\n  \"dropped_records\": {},\n  \"evicted_records\": {},\n  \"before_bytes\": {},\n  \"after_bytes\": {},\n  \"reclaimed_bytes\": {}\n}}\n",
+                    r.live_records, r.dropped_records, r.evicted_records, r.before_bytes, r.after_bytes, r.reclaimed_bytes
                 )
-                }
-                Err(e) => {
-                    eprintln!("  STORE FAILED: compact: {e}");
-                    std::process::exit(1);
-                }
             }
-        }
+            Err(e) => {
+                eprintln!("  STORE FAILED: compact: {e}");
+                std::process::exit(1);
+            }
+        },
         "verify" => match store.verify() {
             Ok(v) => {
                 println!(
@@ -560,6 +581,9 @@ fn main() {
     if all || arg == "variation" {
         run_variation();
     }
+    if all || arg == "monte" {
+        run_monte(&tech);
+    }
     if all || arg == "scaling" {
         run_scaling();
     }
@@ -604,6 +628,7 @@ fn main() {
             "clock",
             "scan",
             "variation",
+            "monte",
             "bench",
             "bench-atpg",
             "fleet",
@@ -614,7 +639,7 @@ fn main() {
         .contains(&arg.as_str())
     {
         eprintln!(
-            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, bench, bench-atpg, fleet, chaos, serve, store"
+            "unknown experiment '{arg}'; use one of: all, table1, fig4, fig6, fig7, fig9, stats, excitation, tpg, em, window, scaling, iddq, monte, bench, bench-atpg, fleet, chaos, serve, store"
         );
         std::process::exit(2);
     }

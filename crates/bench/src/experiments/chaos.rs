@@ -1,7 +1,8 @@
 //! `repro chaos`: seeded fault-injection campaigns across the solver
 //! stack (`obd-linalg`, `obd-spice`, `obd-core`, `obd-atpg`,
-//! `obd-fleet`, `obd-store`, the supervised serve engine), asserting
-//! the panic-free contract end to end.
+//! `obd-fleet`, `obd-store`, the supervised serve engine, and the Monte
+//! Carlo variation engine), asserting the panic-free contract end to
+//! end.
 //!
 //! Every operation runs under `catch_unwind` with chaos armed at a
 //! layer-specific rate. The injection counter is read before and after
@@ -532,6 +533,44 @@ fn run_serve_layer(seed: u64, jobs: u64) -> (LayerReport, obd_chaos::ChaosSnapsh
     (rep, snap)
 }
 
+/// The variation layer: small single-threaded Monte Carlo campaigns
+/// with `monte.params_corrupt` (and the solver-level points underneath
+/// the per-corner transients) armed. A corrupted corner parameter set is
+/// rejected by the sanity guard and the corner *degrades* — an explicit
+/// accounting entry in the report — as do corners whose measurement dies
+/// of a solver-level injection; `run_monte` itself returning a typed
+/// error is *reported*. Threads are pinned to 1: an armed chaos sequence
+/// is schedule-dependent, and the layer replay must be exact.
+fn run_monte_layer(seed: u64, ops: u64) -> (LayerReport, obd_chaos::ChaosSnapshot) {
+    use obd_core::monte::{run_monte_with_options, MonteConfig};
+
+    let rate = 12;
+    obd_chaos::arm(seed ^ 0x8888_8888, rate);
+    let mut rep = LayerReport::new("monte", rate);
+    let tech = TechParams::date05();
+    let cfg = MonteConfig {
+        samples: 3,
+        threads: 1,
+        stages: vec![obd_core::BreakdownStage::Mbd2],
+        bench: obd_core::characterize::BenchConfig {
+            at_speed_ps: None,
+            ..core_config()
+        },
+        ..MonteConfig::new()
+    };
+    let opts = SimOptions::new().with_iteration_budget(200_000);
+    for _ in 0..ops {
+        rep.account(|| match run_monte_with_options(&tech, &cfg, &opts) {
+            Ok(r) if r.degraded_total > 0 => OpOutcome::Degraded,
+            Ok(_) => OpOutcome::Clean,
+            Err(_) => OpOutcome::Reported,
+        });
+    }
+    let snap = obd_chaos::snapshot();
+    obd_chaos::disarm();
+    (rep, snap)
+}
+
 /// Runs the full campaign at the given seed with per-layer op counts
 /// scaled by `scale` (1 = the `repro chaos` defaults, which inject well
 /// over 200 faults; tests use a smaller scale).
@@ -547,6 +586,7 @@ pub fn run_with_scale(seed: u64, scale: u64) -> ChaosReport {
         run_fleet_layer(seed, 500 * scale),
         run_store_layer(seed, 120 * scale),
         run_serve_layer(seed, 4 * scale),
+        run_monte_layer(seed, scale.div_ceil(2)),
     ] {
         merge_points(&mut points, &snap);
         layers.push(rep);

@@ -31,6 +31,8 @@ pub struct MetricsRunReport {
     pub fleet_devices: u64,
     /// Jobs drained by the mini serve batch.
     pub serve_jobs: usize,
+    /// Process corners sampled by the mini Monte Carlo campaign.
+    pub monte_corners: usize,
 }
 
 /// Runs the Table 1 + ATPG flows with metrics on.
@@ -117,6 +119,14 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
     let _ = store.put(dead_key, b"superseded payload");
     let _ = store.put(dead_key, b"live payload");
     store.compact().map_err(|e| e.to_string())?;
+
+    // Size-capped maintenance: cap the store below its live size and
+    // compact again, which must evict the oldest frames
+    // (store.evicted_frames). The store is throwaway at this point.
+    let live = store.file_stats().map_err(|e| e.to_string())?.live_bytes;
+    store.set_max_bytes(Some(live / 2));
+    store.compact().map_err(|e| e.to_string())?;
+    store.set_max_bytes(None);
     drop(store);
     let _ = std::fs::remove_dir_all(&store_dir);
 
@@ -136,6 +146,20 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
     // fleet.* counter, gauge, and the detection-latency histogram.
     let fleet = crate::experiments::fleet::run_small(4_000)?;
 
+    // Mini Monte Carlo campaign: two corners over the fault-free + MBD2
+    // probe set drives monte.samples and monte.measurements.
+    let monte_cfg = obd_core::monte::MonteConfig {
+        samples: 2,
+        threads: 1,
+        stages: vec![BreakdownStage::Mbd2],
+        bench: BenchConfig {
+            at_speed_ps: None,
+            ..cfg.clone()
+        },
+        ..obd_core::monte::MonteConfig::new()
+    };
+    let monte = obd_core::monte::run_monte(tech, &monte_cfg).map_err(|e| e.to_string())?;
+
     Ok(MetricsRunReport {
         snapshot: obd_metrics::snapshot(),
         table1_rows: table1.rows.len(),
@@ -143,6 +167,7 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
         atpg_detected: detected.iter().filter(|&&d| d).count(),
         fleet_devices: fleet.accum.devices,
         serve_jobs: serve.jobs.len(),
+        monte_corners: monte.samples,
     })
 }
 
@@ -150,8 +175,8 @@ pub fn run(tech: &TechParams, cfg: &BenchConfig) -> Result<MetricsRunReport, Str
 pub fn render(r: &MetricsRunReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "observability run: {} Table 1 rows, {} OBD faults ({} detected), {} fleet devices, {} serve jobs\n",
-        r.table1_rows, r.atpg_faults, r.atpg_detected, r.fleet_devices, r.serve_jobs
+        "observability run: {} Table 1 rows, {} OBD faults ({} detected), {} fleet devices, {} serve jobs, {} monte corners\n",
+        r.table1_rows, r.atpg_faults, r.atpg_detected, r.fleet_devices, r.serve_jobs, r.monte_corners
     ));
     let key_counters = [
         "spice.newton_iterations",
@@ -180,6 +205,11 @@ pub fn render(r: &MetricsRunReport) -> String {
         "store.puts",
         "store.compactions",
         "store.compact_reclaimed_bytes",
+        "store.evicted_frames",
+        "monte.samples",
+        "monte.measurements",
+        "monte.stuck_outcomes",
+        "monte.degraded_measurements",
         "serve.jobs_done",
         "serve.jobs_degraded",
         "serve.jobs_replayed",
@@ -216,6 +246,9 @@ mod tests {
             "store.hits",
             "store.puts",
             "store.compactions",
+            "store.evicted_frames",
+            "monte.samples",
+            "monte.measurements",
             "serve.jobs_done",
             "serve.jobs_degraded",
             "serve.jobs_replayed",
@@ -231,6 +264,7 @@ mod tests {
         assert!(r.table1_rows > 0);
         assert!(r.atpg_faults > 0);
         assert_eq!(r.serve_jobs, 2);
+        assert_eq!(r.monte_corners, 2);
         let json = r.snapshot.to_json();
         assert!(json.contains("spice.newton_iterations"));
     }

@@ -11,6 +11,7 @@ pub mod fig9;
 pub mod fleet;
 pub mod iddq;
 pub mod metrics_run;
+pub mod monte;
 pub mod scaling;
 pub mod scan_eval;
 pub mod serve;

@@ -76,6 +76,26 @@ fn serve_layer_populates_recovered_and_reported() {
     assert!(json.contains("store.compact_torn"));
 }
 
+/// The Monte Carlo layer: corrupted corners (and solver-level injections
+/// underneath the per-corner transients) must degrade corners in the
+/// report — never panic, never go unaccounted.
+#[test]
+fn monte_layer_is_exercised_and_accounted() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let r = chaos::run_with_scale(5, 2);
+    let monte = r
+        .layers
+        .iter()
+        .find(|l| l.layer == "monte")
+        .expect("campaign must include the monte layer");
+    assert!(monte.ops > 0, "monte layer must run campaigns");
+    assert!(monte.injected > 0, "monte layer must see injections");
+    assert_eq!(monte.panics, 0, "variation engine must never panic");
+    assert!(monte.accounted(), "monte ledger must be exact: {monte:?}");
+    let json = r.to_json();
+    assert!(json.contains("monte.params_corrupt"));
+}
+
 #[test]
 fn same_seed_replays_identical_accounting() {
     let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());

@@ -774,11 +774,16 @@ fn table1_from_slots(
     Table1 { rows }
 }
 
-/// [`characterize_table1`] fanned out over OS threads. Every cell of the
-/// grid is an independent transient (own circuit expansion, own solver),
-/// so the grid parallelizes embarrassingly; each job writes its own
-/// `(row, slot)` cell, which makes the assembled table identical to the
-/// serial driver's regardless of scheduling.
+/// [`characterize_table1`] fanned out over the work-stealing pool
+/// ([`crate::pool`], shared with the Monte Carlo engine). Every cell of
+/// the grid is an independent transient (own circuit expansion, own
+/// solver), so the grid parallelizes embarrassingly — but cell costs are
+/// wildly uneven (fault-free cells stop at the capture limit, stuck cells
+/// escalate to the full window), which is why the earlier
+/// one-contiguous-chunk-per-thread driver measured only ~1× speedup.
+/// Work-stealing bounds the imbalance by a single cell. Each job writes
+/// its own `(row, slot)` cell, which makes the assembled table identical
+/// to the serial driver's regardless of scheduling.
 ///
 /// # Errors
 ///
@@ -788,39 +793,36 @@ pub fn characterize_table1_parallel(
     cfg: &BenchConfig,
     threads: usize,
 ) -> Result<Table1, ObdError> {
+    characterize_table1_parallel_with_options(tech, cfg, threads, &SimOptions::new())
+}
+
+/// [`characterize_table1_parallel`] under explicit solver options.
+///
+/// # Errors
+///
+/// Propagates measurement errors from any worker.
+pub fn characterize_table1_parallel_with_options(
+    tech: &TechParams,
+    cfg: &BenchConfig,
+    threads: usize,
+    opts: &SimOptions,
+) -> Result<Table1, ObdError> {
     let (jobs, row_meta) = table1_jobs();
-    let threads = threads.max(1).min(jobs.len().max(1));
-    if threads <= 1 {
-        return characterize_table1(tech, cfg);
-    }
-    let chunk = jobs.len().div_ceil(threads);
-    let results: Vec<Result<Vec<Table1CellResult>, ObdError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for piece in jobs.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                piece
-                    .iter()
-                    .map(|j| {
-                        let o = measure_transition(tech, j.defect, j.v1, j.v2, cfg)?;
-                        Ok((j.row, j.slot, o))
-                    })
-                    .collect()
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| {
-                    Err(ObdError::Spice("characterization worker panicked".into()))
-                })
-            })
-            .collect()
-    });
+    let results: Vec<Table1CellResult> = crate::pool::run_jobs(&jobs, threads, |_, j| {
+        let o = measure_cell_transition_with_options(
+            tech,
+            GateKind::Nand,
+            j.defect,
+            j.v1,
+            j.v2,
+            cfg,
+            opts,
+        )?;
+        Ok((j.row, j.slot, o))
+    })?;
     let mut slots = vec![[None; 8]; row_meta.len()];
-    for r in results {
-        for (row, slot, o) in r? {
-            slots[row][slot] = Some(o);
-        }
+    for (row, slot, o) in results {
+        slots[row][slot] = Some(o);
     }
     Ok(table1_from_slots(row_meta, slots))
 }

@@ -42,6 +42,12 @@
 //!   contrast.
 //! * [`complex`] — analog characterization of complex (AOI/OAI) cells,
 //!   §5's "especially for complex gates" case.
+//! * [`pool`] — the deterministic work-stealing job pool shared by the
+//!   parallel Table 1 driver and the Monte Carlo engine.
+//! * [`fixtures`] — multi-cell benches (deep NAND context, a
+//!   transistor-level full adder) that exercise the sparse MNA path.
+//! * [`monte`] — batched Monte Carlo characterization across randomized
+//!   process corners with percentile and detection aggregates.
 
 // Library code must surface failures as typed errors, never panic;
 // tests keep the ergonomic forms.
@@ -55,7 +61,10 @@ pub mod em;
 pub mod error;
 pub mod excitation;
 pub mod faultmodel;
+pub mod fixtures;
 pub mod injection;
+pub mod monte;
+pub mod pool;
 pub mod prognosis;
 pub mod progression;
 pub mod stage;
@@ -65,4 +74,5 @@ pub use cache::DelayCache;
 pub use error::ObdError;
 pub use faultmodel::{ObdFault, Polarity};
 pub use injection::{inject_obd, ObdInstance};
+pub use monte::{MonteConfig, MonteReport};
 pub use stage::{BreakdownStage, ObdParams};

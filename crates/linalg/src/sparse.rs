@@ -1,0 +1,1248 @@
+//! Sparse MNA path: CSR storage and an LU factorization whose symbolic
+//! structure (fill pattern, pivot sequence, scatter map) is computed once
+//! per netlist topology and reused across every Newton iteration,
+//! transient step and Monte Carlo sample.
+//!
+//! The numeric refactorization replays the recorded pivot sequence over a
+//! frozen fill pattern and is allocation-free; only the first
+//! factorization of a topology (or a pivot-staleness rebuild) pays the
+//! symbolic setup. Under [natural ordering](SparseOrdering::Natural) the
+//! kernel reproduces the dense [`crate::LuWorkspace`] arithmetic **bit for
+//! bit**: the same fused scale/finiteness pass, the same strict-`>` argmax
+//! pivot scan in the same (physical) row order, the same right-looking
+//! update with the `m != 0.0` skip, and the same substitution
+//! accumulation order. Terms the dense kernel adds at positions outside
+//! the fill closure are exact `+0.0` contributions that cannot change any
+//! accumulator bitwise, so sparse and dense agree on every solution bit.
+//!
+//! The solve-memo and residual-refinement machinery mirrors the dense
+//! workspace: bitwise `(a, b)` memoization, and one refinement pass gated
+//! on the relative residual.
+
+use std::sync::Arc;
+
+use crate::{LinalgError, Matrix};
+use obd_chaos::InjectionPoint;
+use obd_metrics::Counter;
+
+/// Chaos: report the sparse system singular even though a pivot exists —
+/// the sparse-path twin of `linalg.forced_singular`.
+static CHAOS_SPARSE_SINGULAR: InjectionPoint = InjectionPoint::new("linalg.sparse_singular");
+/// Chaos: report a non-finite sparse substitution result.
+static CHAOS_SPARSE_NONFINITE: InjectionPoint = InjectionPoint::new("linalg.sparse_nonfinite");
+
+/// Total sparse numeric factorizations (first-time and refactorizations).
+static SPARSE_FACTORIZATIONS: Counter = Counter::new("linalg.sparse_factorizations");
+/// Symbolic analyses performed (dense discovery + fill closure + maps).
+static SYMBOLIC_BUILDS: Counter = Counter::new("linalg.symbolic_builds");
+/// Numeric refactorizations that reused a recorded symbolic structure.
+static SYMBOLIC_REUSE: Counter = Counter::new("linalg.symbolic_reuse");
+/// Symbolic rebuilds forced by a stale recorded pivot sequence.
+static PIVOT_STALE_REBUILDS: Counter = Counter::new("linalg.pivot_stale_rebuilds");
+/// Sparse memoized solves where both `a` and `b` matched bitwise.
+static SPARSE_MEMO_FULL_HITS: Counter = Counter::new("linalg.sparse_memo_full_hits");
+/// Sparse memoized solves where only `a` matched (substitution only).
+static SPARSE_MEMO_SOLVE_HITS: Counter = Counter::new("linalg.sparse_memo_solve_hits");
+/// Sparse memoized solves that fell through to factor + solve.
+static SPARSE_MEMO_MISSES: Counter = Counter::new("linalg.sparse_memo_misses");
+/// Sparse refinement passes whose residual exceeded the gate.
+static SPARSE_REFINEMENT_STEPS: Counter = Counter::new("linalg.sparse_refinement_steps");
+
+/// Mirrors the dense kernel's relative pivot tolerance.
+const PIVOT_REL_TOL: f64 = 1e-280;
+/// Mirrors the dense kernel's refinement gate.
+const REFINE_REL_TOL: f64 = 1e-9;
+
+/// Systems at or below this order are generally faster through the dense
+/// workspace (the CSR indirection only pays for itself once rows stop
+/// fitting in a couple of cache lines); `obd-spice` uses this as the
+/// default `Auto` crossover.
+pub const DEFAULT_SPARSE_CROSSOVER: usize = 32;
+
+/// Sentinel for "no entry" in the physical-position scratch map.
+const ABSENT: usize = usize::MAX;
+
+/// Row/column ordering applied when building a sparse system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseOrdering {
+    /// Keep MNA row order. Bit-identical to the dense LU path.
+    Natural,
+    /// Symmetric minimum-degree permutation on the pattern of `A + Aᵀ`
+    /// (deterministic lowest-index tie-breaking). Reduces fill on large
+    /// netlists; results remain deterministic but are not required to
+    /// match the dense path bitwise.
+    MinDegree,
+}
+
+/// The frozen nonzero structure of a sparse matrix, in CSR form with
+/// column indices sorted within each row.
+///
+/// A pattern is immutable after construction and shared (via [`Arc`])
+/// between every [`SparseMatrix`] stamped over the same topology; the
+/// factorization workspace keys its symbolic reuse on that identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl SparsePattern {
+    /// Builds a pattern for an `n × n` matrix from `(row, col)` positions.
+    /// Duplicates are merged; entries are sorted per row.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if any index is out of bounds.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> Result<Arc<Self>, LinalgError> {
+        for &(r, c) in entries {
+            if r >= n || c >= n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    found: r.max(c) + 1,
+                });
+            }
+        }
+        let mut sorted: Vec<(usize, usize)> = entries.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(r, _) in &sorted {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = sorted.into_iter().map(|(_, c)| c).collect();
+        Ok(Arc::new(SparsePattern {
+            n,
+            row_ptr,
+            col_idx,
+        }))
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored positions.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `r` (sorted ascending).
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Index of `(r, c)` into the value array, if present.
+    pub fn pos(&self, r: usize, c: usize) -> Option<usize> {
+        let lo = self.row_ptr[r];
+        self.col_idx[lo..self.row_ptr[r + 1]]
+            .binary_search(&c)
+            .ok()
+            .map(|i| lo + i)
+    }
+
+    /// Whether `(r, c)` is a stored position.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        self.pos(r, c).is_some()
+    }
+}
+
+/// CSR matrix: a shared [`SparsePattern`] plus one value per position.
+///
+/// This is the stamping target for the sparse MNA path: `obd-spice`
+/// freezes the pattern from the circuit topology once, then `clear()` +
+/// `add_at()` every Newton iteration without touching the structure.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    pattern: Arc<SparsePattern>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// An all-zero matrix over `pattern`.
+    pub fn zeros(pattern: Arc<SparsePattern>) -> Self {
+        let nnz = pattern.nnz();
+        SparseMatrix {
+            pattern,
+            values: vec![0.0; nnz],
+        }
+    }
+
+    /// The shared structure.
+    pub fn pattern(&self) -> &Arc<SparsePattern> {
+        &self.pattern
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.pattern.n
+    }
+
+    /// Zeroes every value, keeping the structure.
+    pub fn clear(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Adds `v` at `(r, c)`. Returns `false` (and changes nothing) when
+    /// the position is not part of the pattern — a stamping/topology
+    /// mismatch the caller must surface as a typed error.
+    #[must_use]
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) -> bool {
+        match self.pattern.pos(r, c) {
+            Some(i) => {
+                self.values[i] += v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Value at `(r, c)` (structural zeros read as `0.0`).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.pattern.pos(r, c).map_or(0.0, |i| self.values[i])
+    }
+
+    /// The value array, in pattern (row-major, column-sorted) order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the value array.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Copies `other`'s values; both matrices must share a pattern of the
+    /// same shape.
+    pub fn copy_values_from(&mut self, other: &SparseMatrix) {
+        debug_assert_eq!(self.values.len(), other.values.len());
+        self.values.copy_from_slice(&other.values);
+    }
+
+    /// `out = A·x`, accumulating each row's products in column order —
+    /// the same order the dense `Matrix::mul_vec_into` uses, so residuals
+    /// agree bitwise with the dense path.
+    // Row results are written behind CSR range walks that iterator
+    // adapters cannot express without extra indirection.
+    #[allow(clippy::needless_range_loop)]
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        let p = &self.pattern;
+        out.resize(p.n, 0.0);
+        for r in 0..p.n {
+            let mut acc = 0.0;
+            for e in p.row_ptr[r]..p.row_ptr[r + 1] {
+                acc += self.values[e] * x[p.col_idx[e]];
+            }
+            out[r] = acc;
+        }
+    }
+
+    /// Expands to a dense [`Matrix`] (fallback/compare path).
+    pub fn to_dense(&self) -> Matrix {
+        let p = &self.pattern;
+        let mut m = Matrix::zeros(p.n, p.n);
+        for r in 0..p.n {
+            for e in p.row_ptr[r]..p.row_ptr[r + 1] {
+                m[(r, p.col_idx[e])] = self.values[e];
+            }
+        }
+        m
+    }
+}
+
+/// Recorded symbolic structure: pivot sequence, fill pattern (in final,
+/// post-permutation row coordinates), per-column lower-triangle lists and
+/// the input-nonzero scatter map.
+#[derive(Debug)]
+struct Symbolic {
+    /// The input pattern this analysis belongs to.
+    pattern: Arc<SparsePattern>,
+    /// `perm[i]` = original row that ended at final position `i` (the
+    /// dense kernel's `perm`).
+    perm: Vec<usize>,
+    /// Inverse of `perm`: original row → final position.
+    pos_of: Vec<usize>,
+    /// Physical pivot row chosen at each elimination step.
+    swaps: Vec<usize>,
+    /// Fill CSR over final rows (column-sorted, diagonal forced present).
+    frow_ptr: Vec<usize>,
+    fcol: Vec<usize>,
+    /// Index of the `(r, r)` entry in each fill row.
+    fdiag: Vec<usize>,
+    /// Column lists over the lower triangle + diagonal of the fill:
+    /// for column `k`, the final rows `r ≥ k` holding an entry, with that
+    /// entry's index into the factor value array. Rows ascend per column.
+    lcol_ptr: Vec<usize>,
+    lrow: Vec<usize>,
+    lpos: Vec<usize>,
+    /// Input nonzero `i` (pattern CSR order) → factor value index.
+    scatter: Vec<usize>,
+}
+
+/// Outcome of a recorded-pivot numeric refactorization.
+enum Refactor {
+    /// The recorded pivot sequence no longer matches the values' argmax;
+    /// the caller must rebuild the symbolic structure.
+    Stale,
+    /// A genuine numeric failure, identical to what the dense kernel
+    /// would report.
+    Fail(LinalgError),
+}
+
+/// A reusable sparse LU workspace.
+///
+/// The first [`factor_into`](SparseLuWorkspace::factor_into) of a pattern
+/// runs a dense discovery factorization, records the pivot sequence and
+/// fill closure, and keeps the factors; every subsequent factorization of
+/// the **same pattern** (same [`Arc`], or an equal structure) replays the
+/// recorded sequence allocation-free, verifying at each step that the
+/// recorded pivot is still the argmax and rebuilding transparently when
+/// values have drifted far enough to change the pivot order.
+///
+/// # Example
+///
+/// ```rust
+/// use obd_linalg::{SparseLuWorkspace, SparseMatrix, SparsePattern};
+///
+/// # fn main() -> Result<(), obd_linalg::LinalgError> {
+/// let p = SparsePattern::from_entries(2, &[(0, 0), (0, 1), (1, 0), (1, 1)])?;
+/// let mut a = SparseMatrix::zeros(p);
+/// assert!(a.add_at(0, 0, 4.0) && a.add_at(0, 1, 1.0));
+/// assert!(a.add_at(1, 0, 1.0) && a.add_at(1, 1, 3.0));
+/// let mut ws = SparseLuWorkspace::new();
+/// let mut x = Vec::new();
+/// ws.solve_refined_into(&a, &[1.0, 2.0], &mut x)?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SparseLuWorkspace {
+    sym: Option<Symbolic>,
+    /// Factor values over the fill pattern (L strict lower, U upper).
+    fvals: Vec<f64>,
+    factored: bool,
+    /// Physical position → final row, replayed per refactorization.
+    phys: Vec<usize>,
+    /// Final row → physical position.
+    physinv: Vec<usize>,
+    /// Per-physical-position factor-value index of the current pivot
+    /// column (`ABSENT` outside the column's pattern).
+    colpos: Vec<usize>,
+    memo_a: Vec<f64>,
+    memo_b: Vec<f64>,
+    memo_x: Vec<f64>,
+    memo_a_valid: bool,
+    memo_b_valid: bool,
+    residual: Vec<f64>,
+    correction: Vec<f64>,
+    symbolic_builds: u64,
+    symbolic_reuses: u64,
+    stale_rebuilds: u64,
+}
+
+impl Default for SparseLuWorkspace {
+    fn default() -> Self {
+        SparseLuWorkspace::new()
+    }
+}
+
+impl SparseLuWorkspace {
+    /// Creates an empty workspace; all buffers are sized by the first
+    /// symbolic build.
+    pub fn new() -> Self {
+        SparseLuWorkspace {
+            sym: None,
+            fvals: Vec::new(),
+            factored: false,
+            phys: Vec::new(),
+            physinv: Vec::new(),
+            colpos: Vec::new(),
+            memo_a: Vec::new(),
+            memo_b: Vec::new(),
+            memo_x: Vec::new(),
+            memo_a_valid: false,
+            memo_b_valid: false,
+            residual: Vec::new(),
+            correction: Vec::new(),
+            symbolic_builds: 0,
+            symbolic_reuses: 0,
+            stale_rebuilds: 0,
+        }
+    }
+
+    /// Order of the currently analyzed system (0 before the first build).
+    pub fn order(&self) -> usize {
+        self.sym.as_ref().map_or(0, |s| s.perm.len())
+    }
+
+    /// Symbolic analyses this workspace has performed.
+    pub fn symbolic_builds(&self) -> u64 {
+        self.symbolic_builds
+    }
+
+    /// Numeric refactorizations that reused a recorded symbolic.
+    pub fn symbolic_reuses(&self) -> u64 {
+        self.symbolic_reuses
+    }
+
+    /// Rebuilds forced by a stale recorded pivot sequence.
+    pub fn stale_rebuilds(&self) -> u64 {
+        self.stale_rebuilds
+    }
+
+    /// Factors `a`, reusing the recorded symbolic structure when the
+    /// pattern matches; allocation-free on the reuse path.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NonFinite`] for NaN/inf input and
+    /// [`LinalgError::Singular`] when no acceptable pivot exists — the
+    /// same conditions, at the same thresholds, as the dense kernel.
+    pub fn factor_into(&mut self, a: &SparseMatrix) -> Result<(), LinalgError> {
+        SPARSE_FACTORIZATIONS.inc();
+        self.factored = false;
+        self.memo_a_valid = false;
+        self.memo_b_valid = false;
+        if CHAOS_SPARSE_SINGULAR.fire() {
+            return Err(LinalgError::Singular { column: 0 });
+        }
+        let reusable = match &self.sym {
+            Some(s) => Arc::ptr_eq(&s.pattern, &a.pattern) || *s.pattern == *a.pattern,
+            None => false,
+        };
+        if !reusable {
+            self.build_symbolic(a)?;
+            self.factored = true;
+            return Ok(());
+        }
+        SYMBOLIC_REUSE.inc();
+        self.symbolic_reuses += 1;
+        let refactor = if let Some(sym) = &self.sym {
+            refactor_recorded(
+                sym,
+                a.values(),
+                &mut self.fvals,
+                &mut self.phys,
+                &mut self.physinv,
+                &mut self.colpos,
+            )
+        } else {
+            // Unreachable: `reusable` implies `sym` is present.
+            Err(Refactor::Fail(LinalgError::DimensionMismatch {
+                expected: a.order(),
+                found: 0,
+            }))
+        };
+        match refactor {
+            Ok(()) => {
+                self.factored = true;
+                Ok(())
+            }
+            Err(Refactor::Stale) => {
+                PIVOT_STALE_REBUILDS.inc();
+                self.stale_rebuilds += 1;
+                self.build_symbolic(a)?;
+                self.factored = true;
+                Ok(())
+            }
+            Err(Refactor::Fail(e)) => Err(e),
+        }
+    }
+
+    /// Solves with the stored factors into `x` (resized to the order).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] when nothing is factored or `b`
+    /// has the wrong length; [`LinalgError::NonFinite`] on overflow.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), LinalgError> {
+        let n = self.order();
+        if !self.factored || b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        x.resize(n, 0.0);
+        if let Some(sym) = &self.sym {
+            substitute(sym, &self.fvals, b, x);
+        }
+        if CHAOS_SPARSE_NONFINITE.fire() {
+            return Err(LinalgError::NonFinite);
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite);
+        }
+        Ok(())
+    }
+
+    /// Factor + solve + conditional refinement — the sparse twin of the
+    /// dense Newton-iteration kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization and solve errors.
+    pub fn solve_refined_into(
+        &mut self,
+        a: &SparseMatrix,
+        b: &[f64],
+        x: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        self.factor_into(a)?;
+        self.solve_into(b, x)?;
+        self.refine_against(a, b, x);
+        Ok(())
+    }
+
+    /// Bitwise-memoized factor + solve + refinement, mirroring the dense
+    /// [`crate::LuWorkspace::solve_memo_into`] contract: full `(a, b)` hit
+    /// copies the stored solution, an `a`-only hit reuses the factors, a
+    /// miss refactors. Every path returns exactly what recomputation
+    /// would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization and solve errors.
+    pub fn solve_memo_into(
+        &mut self,
+        a: &SparseMatrix,
+        b: &[f64],
+        x: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        let pattern_matches = self
+            .sym
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(&s.pattern, &a.pattern));
+        let a_hit = self.memo_a_valid
+            && pattern_matches
+            && self.memo_a.len() == a.values().len()
+            && self.memo_a.as_slice() == a.values();
+        if a_hit {
+            if self.memo_b_valid && self.memo_b.as_slice() == b {
+                SPARSE_MEMO_FULL_HITS.inc();
+                x.clear();
+                x.extend_from_slice(&self.memo_x);
+                return Ok(());
+            }
+            SPARSE_MEMO_SOLVE_HITS.inc();
+            self.solve_into(b, x)?;
+            self.refine_against(a, b, x);
+        } else {
+            SPARSE_MEMO_MISSES.inc();
+            self.factor_into(a)?;
+            self.memo_a.clear();
+            self.memo_a.extend_from_slice(a.values());
+            self.memo_a_valid = true;
+            self.solve_into(b, x)?;
+            self.refine_against(a, b, x);
+        }
+        self.memo_b.clear();
+        self.memo_b.extend_from_slice(b);
+        self.memo_x.clear();
+        self.memo_x.extend_from_slice(x);
+        self.memo_b_valid = true;
+        Ok(())
+    }
+
+    /// One conditional refinement step against the original system,
+    /// identical in trigger and arithmetic to the dense workspace.
+    fn refine_against(&mut self, a: &SparseMatrix, b: &[f64], x: &mut [f64]) {
+        a.mul_vec_into(x, &mut self.residual);
+        let mut r_norm: f64 = 0.0;
+        let mut b_norm: f64 = 0.0;
+        for (ri, &bi) in self.residual.iter_mut().zip(b) {
+            *ri = bi - *ri;
+            r_norm = r_norm.max(ri.abs());
+            b_norm = b_norm.max(bi.abs());
+        }
+        if r_norm > REFINE_REL_TOL * b_norm.max(f64::MIN_POSITIVE) {
+            SPARSE_REFINEMENT_STEPS.inc();
+            if let Some(sym) = &self.sym {
+                self.correction.resize(self.residual.len(), 0.0);
+                substitute(sym, &self.fvals, &self.residual, &mut self.correction);
+                if self.correction.iter().all(|v| v.is_finite()) {
+                    for (xi, di) in x.iter_mut().zip(self.correction.iter()) {
+                        *xi += di;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dense-discovery symbolic analysis: factor densely (recording the
+    /// pivot sequence), compute the fill closure for that sequence, build
+    /// the column lists and scatter map, and keep the numeric factors.
+    // CSR/bitset construction walks index ranges into several parallel
+    // arrays at once; range loops are the readable form here.
+    #[allow(clippy::needless_range_loop)]
+    fn build_symbolic(&mut self, a: &SparseMatrix) -> Result<(), LinalgError> {
+        SYMBOLIC_BUILDS.inc();
+        self.symbolic_builds += 1;
+        self.sym = None;
+        let n = a.order();
+        let pat = a.pattern();
+
+        let mut packed = a.to_dense();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = vec![0usize; n];
+        dense_factor_recording(&mut packed, &mut perm, &mut swaps)?;
+
+        let mut pos_of = vec![0usize; n];
+        for (p, &orig) in perm.iter().enumerate() {
+            pos_of[orig] = p;
+        }
+
+        // Fill closure over final rows, as bitsets. Row `p` starts from
+        // the input pattern of original row `perm[p]` plus a forced
+        // diagonal, then folds in each earlier pivot row's above-diagonal
+        // structure — including fill created mid-scan.
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        for p in 0..n {
+            let orig = perm[p];
+            {
+                let row = &mut bits[p * words..(p + 1) * words];
+                for &c in pat.row_cols(orig) {
+                    row[c / 64] |= 1u64 << (c % 64);
+                }
+                row[p / 64] |= 1u64 << (p % 64);
+            }
+            let (done, rest) = bits.split_at_mut(p * words);
+            let row = &mut rest[..words];
+            let mut from = 0usize;
+            while let Some(k) = next_set_bit(row, from) {
+                if k >= p {
+                    break;
+                }
+                let piv = &done[k * words..(k + 1) * words];
+                or_above(row, piv, k);
+                from = k + 1;
+            }
+        }
+
+        // Fill CSR + diagonal index.
+        let mut frow_ptr = vec![0usize; n + 1];
+        let mut fcol = Vec::new();
+        let mut fdiag = vec![0usize; n];
+        for p in 0..n {
+            let row = &bits[p * words..(p + 1) * words];
+            let mut from = 0usize;
+            while let Some(c) = next_set_bit(row, from) {
+                if c == p {
+                    fdiag[p] = fcol.len();
+                }
+                fcol.push(c);
+                from = c + 1;
+            }
+            frow_ptr[p + 1] = fcol.len();
+        }
+
+        // Column lists over lower triangle + diagonal, rows ascending.
+        let mut lcol_ptr = vec![0usize; n + 1];
+        for p in 0..n {
+            for e in frow_ptr[p]..=fdiag[p] {
+                lcol_ptr[fcol[e] + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            lcol_ptr[i + 1] += lcol_ptr[i];
+        }
+        let mut lrow = vec![0usize; lcol_ptr[n]];
+        let mut lpos = vec![0usize; lcol_ptr[n]];
+        let mut cursor = lcol_ptr.clone();
+        for p in 0..n {
+            for e in frow_ptr[p]..=fdiag[p] {
+                let c = fcol[e];
+                lrow[cursor[c]] = p;
+                lpos[cursor[c]] = e;
+                cursor[c] += 1;
+            }
+        }
+
+        // Scatter map: input nonzero → fill value index.
+        let mut scatter = vec![0usize; pat.nnz()];
+        for r in 0..n {
+            let f = pos_of[r];
+            let frow = &fcol[frow_ptr[f]..frow_ptr[f + 1]];
+            for e in pat.row_ptr[r]..pat.row_ptr[r + 1] {
+                let c = pat.col_idx[e];
+                match frow.binary_search(&c) {
+                    Ok(i) => scatter[e] = frow_ptr[f] + i,
+                    Err(_) => {
+                        // Cannot happen: the closure starts from the
+                        // input pattern. Fail loudly rather than drop a
+                        // stamped value.
+                        return Err(LinalgError::DimensionMismatch {
+                            expected: n,
+                            found: c,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Gather the already-computed dense factors into the fill values,
+        // so the discovery factorization doubles as the numeric one.
+        self.fvals.clear();
+        self.fvals.reserve(fcol.len());
+        for p in 0..n {
+            for e in frow_ptr[p]..frow_ptr[p + 1] {
+                self.fvals.push(packed[(p, fcol[e])]);
+            }
+        }
+
+        self.phys.resize(n, 0);
+        self.physinv.resize(n, 0);
+        self.colpos.clear();
+        self.colpos.resize(n, ABSENT);
+        self.residual.resize(n, 0.0);
+        self.correction.resize(n, 0.0);
+
+        self.sym = Some(Symbolic {
+            pattern: Arc::clone(pat),
+            perm,
+            pos_of,
+            swaps,
+            frow_ptr,
+            fcol,
+            fdiag,
+            lcol_ptr,
+            lrow,
+            lpos,
+            scatter,
+        });
+        Ok(())
+    }
+}
+
+/// First set bit at index ≥ `from`, if any.
+fn next_set_bit(bits: &[u64], from: usize) -> Option<usize> {
+    let mut w = from / 64;
+    if w >= bits.len() {
+        return None;
+    }
+    let mut word = bits[w] & (u64::MAX << (from % 64));
+    loop {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w >= bits.len() {
+            return None;
+        }
+        word = bits[w];
+    }
+}
+
+/// `dst |= src & {bits with index > k}`.
+fn or_above(dst: &mut [u64], src: &[u64], k: usize) {
+    let w = k / 64;
+    let mask = if k % 64 == 63 {
+        0
+    } else {
+        u64::MAX << (k % 64 + 1)
+    };
+    dst[w] |= src[w] & mask;
+    for i in (w + 1)..dst.len() {
+        dst[i] |= src[i];
+    }
+}
+
+/// The dense discovery kernel: byte-for-byte the arithmetic of the dense
+/// `factor_in_place`, with the physical pivot row recorded at each step.
+/// (No metrics or chaos here — those belong to the public entry points.)
+fn dense_factor_recording(
+    packed: &mut Matrix,
+    perm: &mut [usize],
+    swaps: &mut [usize],
+) -> Result<(), LinalgError> {
+    let n = packed.rows();
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
+    let mut scale: f64 = 0.0;
+    for r in 0..n {
+        let row_sum: f64 = packed.row(r).iter().map(|x| x.abs()).sum();
+        if !row_sum.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        scale = scale.max(row_sum);
+    }
+    let tiny = scale.max(f64::MIN_POSITIVE) * PIVOT_REL_TOL;
+    for k in 0..n {
+        let mut pivot_row = k;
+        let mut pivot_val = packed[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = packed[(r, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val <= tiny || !pivot_val.is_finite() {
+            return Err(LinalgError::Singular { column: k });
+        }
+        swaps[k] = pivot_row;
+        if pivot_row != k {
+            perm.swap(k, pivot_row);
+            packed.row_swap(k, pivot_row);
+        }
+        let cols = n;
+        let data = packed.as_mut_slice();
+        let (top, bottom) = data.split_at_mut((k + 1) * cols);
+        let pivot_row = &top[k * cols..(k + 1) * cols];
+        let pivot = pivot_row[k];
+        for row in bottom.chunks_exact_mut(cols) {
+            let m = row[k] / pivot;
+            row[k] = m;
+            if m != 0.0 {
+                for (x, &u) in row[k + 1..].iter_mut().zip(&pivot_row[k + 1..]) {
+                    *x -= m * u;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays the recorded pivot sequence over the frozen fill pattern:
+/// scatter input values, verify each recorded pivot is still the strict
+/// argmax in dense physical-row scan order, then run the right-looking
+/// update over the closure. Allocation-free.
+// The elimination indexes several parallel arrays behind moving cursors;
+// range loops mirror the dense kernel's structure.
+#[allow(clippy::needless_range_loop)]
+fn refactor_recorded(
+    sym: &Symbolic,
+    avals: &[f64],
+    fvals: &mut [f64],
+    phys: &mut [usize],
+    physinv: &mut [usize],
+    colpos: &mut [usize],
+) -> Result<(), Refactor> {
+    let pat = &sym.pattern;
+    let n = pat.n;
+
+    // Fused scale/finiteness pass over the input rows, matching the dense
+    // kernel bitwise (absent entries contribute exact +0.0 to a
+    // non-negative accumulator, which cannot change any partial sum).
+    let mut scale: f64 = 0.0;
+    for r in 0..n {
+        let mut row_sum: f64 = 0.0;
+        for e in pat.row_ptr[r]..pat.row_ptr[r + 1] {
+            row_sum += avals[e].abs();
+        }
+        if !row_sum.is_finite() {
+            return Err(Refactor::Fail(LinalgError::NonFinite));
+        }
+        scale = scale.max(row_sum);
+    }
+    let tiny = scale.max(f64::MIN_POSITIVE) * PIVOT_REL_TOL;
+
+    fvals.fill(0.0);
+    for (i, &dst) in sym.scatter.iter().enumerate() {
+        fvals[dst] = avals[i];
+    }
+
+    colpos.fill(ABSENT);
+    for p in 0..n {
+        phys[p] = sym.pos_of[p];
+        physinv[sym.pos_of[p]] = p;
+    }
+
+    for k in 0..n {
+        let (cs, ce) = (sym.lcol_ptr[k], sym.lcol_ptr[k + 1]);
+        for i in cs..ce {
+            colpos[physinv[sym.lrow[i]]] = sym.lpos[i];
+        }
+        // Argmax scan in physical row order — dense's exact tie-breaking.
+        let mut pivot_phys = k;
+        let mut pivot_val = match colpos[k] {
+            ABSENT => 0.0,
+            vi => fvals[vi].abs(),
+        };
+        for p in (k + 1)..n {
+            let vi = colpos[p];
+            if vi != ABSENT {
+                let v = fvals[vi].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_phys = p;
+                }
+            }
+        }
+        for i in cs..ce {
+            colpos[physinv[sym.lrow[i]]] = ABSENT;
+        }
+        if pivot_val <= tiny || !pivot_val.is_finite() {
+            return Err(Refactor::Fail(LinalgError::Singular { column: k }));
+        }
+        if pivot_phys != sym.swaps[k] {
+            return Err(Refactor::Stale);
+        }
+        phys.swap(k, pivot_phys);
+        physinv[phys[k]] = k;
+        physinv[phys[pivot_phys]] = pivot_phys;
+        debug_assert_eq!(phys[k], k, "recorded pivot must land at final row k");
+
+        let pivot = fvals[sym.fdiag[k]];
+        for i in cs..ce {
+            let fr = sym.lrow[i];
+            if fr == k {
+                continue;
+            }
+            let vi = sym.lpos[i];
+            let m = fvals[vi] / pivot;
+            fvals[vi] = m;
+            if m != 0.0 {
+                let mut ri = vi + 1;
+                let r_end = sym.frow_ptr[fr + 1];
+                for ui in (sym.fdiag[k] + 1)..sym.frow_ptr[k + 1] {
+                    let j = sym.fcol[ui];
+                    while ri < r_end && sym.fcol[ri] < j {
+                        ri += 1;
+                    }
+                    if ri >= r_end || sym.fcol[ri] != j {
+                        // Closure violation — defensive; rebuild rather
+                        // than silently drop an update.
+                        return Err(Refactor::Stale);
+                    }
+                    let u = fvals[ui];
+                    fvals[ri] -= m * u;
+                    ri += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forward + back substitution through the sparse factors, accumulating
+/// in the dense kernel's column order. `x` must have length `n`.
+fn substitute(sym: &Symbolic, fvals: &[f64], b: &[f64], x: &mut [f64]) {
+    let n = sym.perm.len();
+    for (i, &p) in sym.perm.iter().enumerate() {
+        x[i] = b[p];
+    }
+    for r in 1..n {
+        let mut acc = x[r];
+        for e in sym.frow_ptr[r]..sym.fdiag[r] {
+            acc -= fvals[e] * x[sym.fcol[e]];
+        }
+        x[r] = acc;
+    }
+    for r in (0..n).rev() {
+        let mut acc = x[r];
+        for e in (sym.fdiag[r] + 1)..sym.frow_ptr[r + 1] {
+            acc -= fvals[e] * x[sym.fcol[e]];
+        }
+        x[r] = acc / fvals[sym.fdiag[r]];
+    }
+}
+
+/// Symmetric minimum-degree ordering on the pattern of `A + Aᵀ`, with
+/// deterministic lowest-index tie-breaking. Returns `perm` where
+/// `perm[new] = old`; apply it by relabeling rows and columns before
+/// building the permuted pattern.
+pub fn min_degree_order(pattern: &SparsePattern) -> Vec<usize> {
+    let n = pattern.n;
+    let words = n.div_ceil(64);
+    // Adjacency of A + Aᵀ as bitsets (self-loops excluded).
+    let mut adj = vec![0u64; n * words];
+    for r in 0..n {
+        for &c in pattern.row_cols(r) {
+            if r != c {
+                adj[r * words + c / 64] |= 1u64 << (c % 64);
+                adj[c * words + r / 64] |= 1u64 << (r % 64);
+            }
+        }
+    }
+    let mut alive = vec![u64::MAX; words];
+    if !n.is_multiple_of(64) {
+        alive[words - 1] = (1u64 << (n % 64)) - 1;
+    }
+    let mut perm = Vec::with_capacity(n);
+    let mut scratch = vec![0u64; words];
+    for _ in 0..n {
+        // Lowest-index vertex of minimum live degree.
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        let mut from = 0usize;
+        while let Some(v) = next_set_bit(&alive, from) {
+            let mut deg = 0usize;
+            for w in 0..words {
+                deg += (adj[v * words + w] & alive[w]).count_ones() as usize;
+            }
+            if deg < best_deg {
+                best_deg = deg;
+                best = v;
+            }
+            from = v + 1;
+        }
+        let v = best;
+        perm.push(v);
+        alive[v / 64] &= !(1u64 << (v % 64));
+        // Clique the eliminated vertex's live neighbors.
+        for w in 0..words {
+            scratch[w] = adj[v * words + w] & alive[w];
+        }
+        let mut nfrom = 0usize;
+        while let Some(u) = next_set_bit(&scratch, nfrom) {
+            for w in 0..words {
+                let add = scratch[w] & !(if w == u / 64 { 1u64 << (u % 64) } else { 0 });
+                adj[u * words + w] |= add;
+            }
+            nfrom = u + 1;
+        }
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LuWorkspace;
+
+    /// Tiny deterministic generator for test systems.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((self.0 >> 11) as f64) / ((1u64 << 53) as f64) * 2.0 - 1.0
+        }
+    }
+
+    /// Builds a random diagonally-perturbed sparse system of order `n`
+    /// with off-diagonal density driven by the seed; returns both the
+    /// sparse matrix and its dense twin.
+    fn random_system(n: usize, seed: u64) -> (SparseMatrix, Matrix, Vec<f64>) {
+        let mut rng = Lcg(seed);
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i));
+            // A couple of off-diagonals per row, some asymmetric.
+            let j = ((i + 1 + (seed as usize + i) % (n.max(2) - 1)) % n).min(n - 1);
+            if j != i {
+                entries.push((i, j));
+                entries.push((j, i));
+            }
+            let k = (i * 7 + 3) % n;
+            if k != i {
+                entries.push((i, k));
+            }
+        }
+        let pat = SparsePattern::from_entries(n, &entries).unwrap();
+        let mut a = SparseMatrix::zeros(Arc::clone(&pat));
+        for r in 0..n {
+            for &c in pat.row_cols(r).to_vec().iter() {
+                let v = if r == c {
+                    4.0 + rng.next_f64()
+                } else {
+                    rng.next_f64()
+                };
+                assert!(a.add_at(r, c, v));
+            }
+        }
+        let dense = a.to_dense();
+        let b: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_f64()).collect();
+        (a, dense, b)
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn sparse_matches_dense_bitwise_randomized() {
+        for seed in [1u64, 7, 42, 1234, 99999] {
+            for n in [3usize, 8, 17, 33, 60] {
+                let (a, dense, b) = random_system(n, seed);
+                let mut dws = LuWorkspace::new();
+                let mut sws = SparseLuWorkspace::new();
+                let mut xd = Vec::new();
+                let mut xs = Vec::new();
+                dws.solve_refined_into(&dense, &b, &mut xd).unwrap();
+                sws.solve_refined_into(&a, &b, &mut xs).unwrap();
+                assert_eq!(bits(&xd), bits(&xs), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_reused_across_value_changes() {
+        let (mut a, _, b) = random_system(24, 5);
+        let mut sws = SparseLuWorkspace::new();
+        let mut x = Vec::new();
+        sws.solve_refined_into(&a, &b, &mut x).unwrap();
+        assert_eq!(sws.symbolic_builds(), 1);
+        // Same topology, scaled values: must not re-analyze, and must
+        // still agree with dense bitwise.
+        for round in 0..8 {
+            let s = 1.0 + 0.01 * f64::from(round);
+            for v in a.values_mut() {
+                *v *= s;
+            }
+            let dense = a.to_dense();
+            let mut dws = LuWorkspace::new();
+            let mut xd = Vec::new();
+            dws.solve_refined_into(&dense, &b, &mut xd).unwrap();
+            sws.solve_refined_into(&a, &b, &mut x).unwrap();
+            assert_eq!(bits(&xd), bits(&x), "round={round}");
+        }
+        assert_eq!(sws.symbolic_builds(), 1, "no rebuild for value changes");
+        assert_eq!(sws.symbolic_reuses(), 8);
+        assert_eq!(sws.stale_rebuilds(), 0);
+    }
+
+    #[test]
+    fn stale_pivot_sequence_triggers_rebuild_and_stays_dense_exact() {
+        // Off-diagonal dominance flips the pivot choice between factors.
+        let pat = SparsePattern::from_entries(
+            3,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)],
+        )
+        .unwrap();
+        let stamp = |vals: &[(usize, usize, f64)]| {
+            let mut m = SparseMatrix::zeros(Arc::clone(&pat));
+            for &(r, c, v) in vals {
+                assert!(m.add_at(r, c, v));
+            }
+            m
+        };
+        let a1 = stamp(&[
+            (0, 0, 4.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ]);
+        // Same pattern, but row 1 now dominates column 0.
+        let a2 = stamp(&[
+            (0, 0, 1.0),
+            (0, 1, 1.0),
+            (1, 0, 50.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ]);
+        let b = [1.0, 2.0, 3.0];
+        let mut sws = SparseLuWorkspace::new();
+        let mut x = Vec::new();
+        sws.solve_refined_into(&a1, &b, &mut x).unwrap();
+        sws.solve_refined_into(&a2, &b, &mut x).unwrap();
+        assert_eq!(sws.stale_rebuilds(), 1, "pivot flip must force a rebuild");
+        let mut dws = LuWorkspace::new();
+        let mut xd = Vec::new();
+        dws.solve_refined_into(&a2.to_dense(), &b, &mut xd).unwrap();
+        assert_eq!(bits(&xd), bits(&x));
+    }
+
+    #[test]
+    fn memo_paths_mirror_dense_semantics() {
+        let (a, dense, b) = random_system(12, 11);
+        let mut sws = SparseLuWorkspace::new();
+        let mut dws = LuWorkspace::new();
+        let (mut xs, mut xd) = (Vec::new(), Vec::new());
+        // miss, full hit, b-only change (solve hit).
+        sws.solve_memo_into(&a, &b, &mut xs).unwrap();
+        dws.solve_memo_into(&dense, &b, &mut xd).unwrap();
+        assert_eq!(bits(&xd), bits(&xs));
+        sws.solve_memo_into(&a, &b, &mut xs).unwrap();
+        dws.solve_memo_into(&dense, &b, &mut xd).unwrap();
+        assert_eq!(bits(&xd), bits(&xs));
+        let b2: Vec<f64> = b.iter().map(|v| v * 2.0).collect();
+        sws.solve_memo_into(&a, &b2, &mut xs).unwrap();
+        dws.solve_memo_into(&dense, &b2, &mut xd).unwrap();
+        assert_eq!(bits(&xd), bits(&xs));
+        assert_eq!(sws.symbolic_builds(), 1);
+    }
+
+    #[test]
+    fn error_variants_match_dense() {
+        // Singular: duplicate rows.
+        let pat = SparsePattern::from_entries(2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let mut a = SparseMatrix::zeros(Arc::clone(&pat));
+        for &(r, c, v) in &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)] {
+            assert!(a.add_at(r, c, v));
+        }
+        let mut ws = SparseLuWorkspace::new();
+        assert!(matches!(
+            ws.factor_into(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+        // Non-finite input.
+        let mut nf = SparseMatrix::zeros(pat);
+        assert!(nf.add_at(0, 0, f64::NAN));
+        assert!(nf.add_at(1, 1, 1.0));
+        assert!(matches!(
+            SparseLuWorkspace::new().factor_into(&nf),
+            Err(LinalgError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn add_at_rejects_positions_outside_pattern() {
+        let pat = SparsePattern::from_entries(2, &[(0, 0), (1, 1)]).unwrap();
+        let mut a = SparseMatrix::zeros(pat);
+        assert!(a.add_at(0, 0, 1.0));
+        assert!(!a.add_at(0, 1, 1.0));
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn min_degree_is_a_permutation_and_orders_arrow_tip_last() {
+        // Arrow matrix: vertex 0 connected to everyone. Natural order
+        // fills densely; min-degree must eliminate the leaves first.
+        let n = 12;
+        let mut entries = vec![(0usize, 0usize)];
+        for i in 1..n {
+            entries.push((i, i));
+            entries.push((0, i));
+            entries.push((i, 0));
+        }
+        let pat = SparsePattern::from_entries(n, &entries).unwrap();
+        let perm = min_degree_order(&pat);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // Once only the hub and one leaf remain they tie at degree 1, so
+        // the hub (lowest index) may go second-to-last — but never before
+        // the leaves have been consumed.
+        let hub_pos = perm.iter().position(|&p| p == 0).unwrap();
+        assert!(
+            hub_pos >= n - 2,
+            "hub eliminated at {hub_pos}, expected last two"
+        );
+        assert_eq!(perm, min_degree_order(&pat), "deterministic");
+    }
+
+    #[test]
+    fn warm_refactor_reuses_symbolic_many_times() {
+        let (mut a, _, b) = random_system(40, 77);
+        let mut ws = SparseLuWorkspace::new();
+        let mut x = Vec::new();
+        ws.solve_refined_into(&a, &b, &mut x).unwrap();
+        for i in 0..100 {
+            let bump = 1.0 + 1e-6 * f64::from(i);
+            for v in a.values_mut() {
+                *v *= bump;
+            }
+            ws.solve_refined_into(&a, &b, &mut x).unwrap();
+        }
+        assert_eq!(ws.symbolic_builds(), 1);
+        assert_eq!(ws.symbolic_reuses(), 100);
+    }
+}

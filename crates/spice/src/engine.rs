@@ -4,12 +4,13 @@
 use std::time::Instant;
 
 use obd_chaos::InjectionPoint;
-use obd_linalg::LuWorkspace;
+use obd_linalg::{LuWorkspace, SparseLuWorkspace};
 use obd_metrics::{Counter, Histogram};
 
 use crate::circuit::Circuit;
 use crate::devices::{Device, DeviceState, EvalCtx, Integration};
-use crate::stamp::Stamp;
+use crate::options::SolverKind;
+use crate::stamp::{Mna, SparseStamp, Stamp};
 use crate::{SimOptions, SpiceError};
 
 /// Total Newton iterations across every solve (DC, stepping, transient).
@@ -31,6 +32,10 @@ static NEWTON_ITERS_PER_SOLVE: Histogram = Histogram::new(
     "spice.newton_iters_per_solve",
     &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 150],
 );
+/// Solvers constructed on the dense LU backend.
+static SOLVERS_DENSE: Counter = Counter::new("spice.solvers_dense");
+/// Solvers constructed on the sparse (CSR) LU backend.
+static SOLVERS_SPARSE: Counter = Counter::new("spice.solvers_sparse");
 
 /// Chaos: poison the first Newton iterate with NaN; the finiteness guard
 /// must convert it into a typed [`SpiceError::NonFinite`].
@@ -51,6 +56,31 @@ pub enum Escalation {
     SourceStepping,
 }
 
+/// The matrix representation + factorization workspace pair backing one
+/// solver. Both variants assemble through [`Mna`] in the same stamping
+/// order, so their solutions are bit-identical; they differ only in cost
+/// scaling (dense O(n³) factor vs. sparse recorded-pivot refactor).
+// One Backend lives per Solver (never in collections), so the variant
+// size asymmetry clippy flags costs nothing; boxing would only add an
+// indirection to the Newton hot loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Backend {
+    /// Dense `Matrix` storage with the dense LU workspace.
+    Dense {
+        stamp: Stamp,
+        lin_stamp: Stamp,
+        ws: LuWorkspace,
+    },
+    /// CSR storage over a frozen structural pattern with the sparse
+    /// recorded-pivot LU workspace.
+    Sparse {
+        stamp: SparseStamp,
+        lin_stamp: SparseStamp,
+        ws: SparseLuWorkspace,
+    },
+}
+
 /// A prepared solver for one circuit: the stamp workspaces, the branch-row
 /// assignment for voltage sources, and per-device state.
 ///
@@ -62,19 +92,16 @@ pub struct Solver<'c> {
     ckt: &'c Circuit,
     /// For each device index, its voltage-source branch row (if any).
     branch_of: Vec<Option<usize>>,
+    /// Number of voltage-source branches.
+    n_branches: usize,
     /// Per-device limiting/transient state.
     pub states: Vec<DeviceState>,
-    /// Full system under assembly (linear part + per-iterate devices).
-    stamp: Stamp,
-    /// Cached iterate-independent part: resistors, capacitor companions,
-    /// sources and gmin loading, stamped once per Newton solve.
-    lin_stamp: Stamp,
+    /// Matrix storage + LU workspace, chosen per [`SolverKind`].
+    backend: Backend,
     /// Device indices whose stamps ignore the Newton iterate.
     linear: Vec<usize>,
     /// Device indices re-stamped every iteration (diodes, MOSFETs).
     nonlinear: Vec<usize>,
-    /// Persistent LU factor/solve buffers.
-    ws: LuWorkspace,
     /// Newton update vector (the raw solve result before damping).
     x_new: Vec<f64>,
     /// Cumulative Newton iterations (one LU solve each) since creation.
@@ -113,17 +140,41 @@ impl<'c> Solver<'c> {
                 nonlinear.push(i);
             }
         }
-        let stamp = Stamp::new(ckt.num_nodes(), next_branch);
-        let dim = stamp.dim();
+        let dim = ckt.num_nodes() - 1 + next_branch;
+        // The reference (baseline) kernel predates the sparse path and
+        // stays dense-only, so benchmarks always compare against the same
+        // historical baseline.
+        let use_sparse = !opts.reference_kernel
+            && match opts.solver {
+                SolverKind::Dense => false,
+                SolverKind::Sparse => true,
+                SolverKind::Auto { crossover } => dim >= crossover,
+            };
+        let backend = if use_sparse {
+            SOLVERS_SPARSE.inc();
+            let stamp = SparseStamp::for_circuit(ckt, &branch_of, next_branch)?;
+            Backend::Sparse {
+                lin_stamp: stamp.clone(),
+                stamp,
+                ws: SparseLuWorkspace::new(),
+            }
+        } else {
+            SOLVERS_DENSE.inc();
+            let stamp = Stamp::new(ckt.num_nodes(), next_branch);
+            Backend::Dense {
+                lin_stamp: stamp.clone(),
+                stamp,
+                ws: LuWorkspace::with_order(dim),
+            }
+        };
         Ok(Solver {
             ckt,
             branch_of,
+            n_branches: next_branch,
             states: vec![DeviceState::default(); ckt.num_devices()],
-            lin_stamp: stamp.clone(),
-            stamp,
+            backend,
             linear,
             nonlinear,
-            ws: LuWorkspace::with_order(dim),
             x_new: vec![0.0; dim],
             newton_iterations: 0,
             budget_left: opts.max_solve_iterations,
@@ -174,12 +225,12 @@ impl<'c> Solver<'c> {
 
     /// System dimension (node voltages + source branch currents).
     pub fn dim(&self) -> usize {
-        self.stamp.dim()
+        self.ckt.num_nodes() - 1 + self.n_branches
     }
 
-    /// Shared stamp accessor for analyses that need voltage lookups.
-    pub fn stamp(&self) -> &Stamp {
-        &self.stamp
+    /// `true` when this solver runs on the sparse (CSR) backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.backend, Backend::Sparse { .. })
     }
 
     /// Solver options.
@@ -250,18 +301,35 @@ impl<'c> Solver<'c> {
         // once and reuse it as the starting image of every iteration.
         let reference = self.opts.reference_kernel;
         if !reference {
-            self.lin_stamp.clear();
-            for k in 0..self.linear.len() {
-                let i = self.linear[k];
-                devices[i].stamp(
-                    &mut self.lin_stamp,
-                    x,
-                    ctx,
-                    &mut self.states[i],
-                    self.branch_of[i],
-                );
+            let gmin = self.opts.gmin;
+            match &mut self.backend {
+                Backend::Dense { lin_stamp, .. } => {
+                    lin_stamp.clear();
+                    stamp_devices(
+                        lin_stamp,
+                        devices,
+                        &self.linear,
+                        &mut self.states,
+                        &self.branch_of,
+                        x,
+                        ctx,
+                    );
+                    lin_stamp.add_gmin_loading(gmin);
+                }
+                Backend::Sparse { lin_stamp, .. } => {
+                    lin_stamp.clear();
+                    stamp_devices(
+                        lin_stamp,
+                        devices,
+                        &self.linear,
+                        &mut self.states,
+                        &self.branch_of,
+                        x,
+                        ctx,
+                    );
+                    lin_stamp.add_gmin_loading(gmin);
+                }
             }
-            self.lin_stamp.add_gmin_loading(self.opts.gmin);
         }
 
         for iter in 0..self.opts.max_newton {
@@ -271,38 +339,71 @@ impl<'c> Solver<'c> {
             if reference {
                 // Baseline kernel: restamp the full system and run a
                 // one-shot (allocating) factor/solve, as the engine did
-                // before the split-stamping/workspace overhaul.
-                self.stamp.clear();
+                // before the split-stamping/workspace overhaul. The
+                // backend is dense by construction whenever the reference
+                // kernel is selected.
+                let Backend::Dense { stamp, .. } = &mut self.backend else {
+                    return Err(SpiceError::Singular {
+                        detail: "reference kernel requires the dense backend".into(),
+                    });
+                };
+                stamp.clear();
                 for (i, dev) in devices.iter().enumerate() {
-                    dev.stamp(
-                        &mut self.stamp,
-                        x,
-                        ctx,
-                        &mut self.states[i],
-                        self.branch_of[i],
-                    );
+                    dev.stamp(stamp, x, ctx, &mut self.states[i], self.branch_of[i]);
                 }
-                self.stamp.add_gmin_loading(self.opts.gmin);
-                let sol = obd_linalg::solve_refined(&self.stamp.a, &self.stamp.z)?;
+                stamp.add_gmin_loading(self.opts.gmin);
+                let sol = obd_linalg::solve_refined(&stamp.a, &stamp.z)?;
                 self.x_new.clear();
                 self.x_new.extend_from_slice(&sol);
             } else {
-                self.stamp.copy_from(&self.lin_stamp);
-                for k in 0..self.nonlinear.len() {
-                    let i = self.nonlinear[k];
-                    devices[i].stamp(
-                        &mut self.stamp,
-                        x,
-                        ctx,
-                        &mut self.states[i],
-                        self.branch_of[i],
-                    );
-                }
                 // Memoized on the exact bit pattern of (A, z): quiescent
                 // transient steps restamp an identical system, so most of
                 // them skip the factorization (and often the whole solve).
-                self.ws
-                    .solve_memo_into(&self.stamp.a, &self.stamp.z, &mut self.x_new)?;
+                match &mut self.backend {
+                    Backend::Dense {
+                        stamp,
+                        lin_stamp,
+                        ws,
+                    } => {
+                        stamp.copy_from(lin_stamp);
+                        stamp_devices(
+                            stamp,
+                            devices,
+                            &self.nonlinear,
+                            &mut self.states,
+                            &self.branch_of,
+                            x,
+                            ctx,
+                        );
+                        ws.solve_memo_into(&stamp.a, &stamp.z, &mut self.x_new)?;
+                    }
+                    Backend::Sparse {
+                        stamp,
+                        lin_stamp,
+                        ws,
+                    } => {
+                        stamp.copy_from(lin_stamp);
+                        stamp_devices(
+                            stamp,
+                            devices,
+                            &self.nonlinear,
+                            &mut self.states,
+                            &self.branch_of,
+                            x,
+                            ctx,
+                        );
+                        // The structural pattern covers every coupling a
+                        // device can stamp, so a miss is an engine bug;
+                        // surface it as a typed error, never silently.
+                        if stamp.take_missed() {
+                            return Err(SpiceError::Singular {
+                                detail: "stamp outside the circuit's structural sparsity pattern"
+                                    .into(),
+                            });
+                        }
+                        ws.solve_memo_into(&stamp.a, &stamp.z, &mut self.x_new)?;
+                    }
+                }
             }
 
             if poison_iterate {
@@ -503,17 +604,39 @@ impl<'c> Solver<'c> {
 
     /// Node voltage from a solution vector.
     pub fn voltage(&self, x: &[f64], n: crate::NodeId) -> f64 {
-        self.stamp.voltage(x, n)
+        if n.is_ground() {
+            0.0
+        } else {
+            x[n.index() - 1]
+        }
     }
 
     /// Branch current of the `k`-th voltage source from a solution vector.
     pub fn source_current(&self, x: &[f64], k: usize) -> f64 {
-        self.stamp.branch_current(x, k)
+        debug_assert!(k < self.n_branches);
+        x[self.ckt.num_nodes() - 1 + k]
     }
 
     /// Branch row of a device if it is a voltage source.
     pub fn branch_of(&self, device_index: usize) -> Option<usize> {
         self.branch_of[device_index]
+    }
+}
+
+/// Stamps the devices at `which` into `st` — the one assembly loop both
+/// backends share, so the accumulation order (and therefore every f64
+/// rounding step) is identical dense vs. sparse.
+fn stamp_devices<M: Mna>(
+    st: &mut M,
+    devices: &[Device],
+    which: &[usize],
+    states: &mut [DeviceState],
+    branch_of: &[Option<usize>],
+    x: &[f64],
+    ctx: &EvalCtx,
+) {
+    for &i in which {
+        devices[i].stamp(st, x, ctx, &mut states[i], branch_of[i]);
     }
 }
 
@@ -691,6 +814,77 @@ mod tests {
         let x = s.operating_point().unwrap();
         let vm = s.voltage(&x, mid);
         assert!(vm.is_finite() && (-0.5..=3.8).contains(&vm), "vm = {vm}");
+    }
+
+    /// The sparse backend must reproduce the dense operating point bit
+    /// for bit on a nonlinear circuit (MOSFET + diode + sources), and the
+    /// auto mode must route small circuits to the dense backend.
+    #[test]
+    fn sparse_backend_bit_identical_to_dense() {
+        use crate::options::SolverKind;
+
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        let a = c.node("a");
+        c.add_vsource(Vsource::new(
+            "VDD",
+            vdd,
+            Circuit::GROUND,
+            SourceWave::dc(3.3),
+        ));
+        c.add_vsource(Vsource::new(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            SourceWave::dc(1.2),
+        ));
+        c.add_resistor(Resistor::new("RL", vdd, out, 10e3));
+        c.add_mosfet(Mosfet::new(
+            "M1",
+            MosPolarity::Nmos,
+            out,
+            vin,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosParams {
+                vt0: 0.5,
+                kp: 100e-6,
+                lambda: 0.02,
+                gamma: 0.0,
+                phi: 0.7,
+                w: 4e-6,
+                l: 0.5e-6,
+            },
+        ));
+        c.add_resistor(Resistor::new("R2", out, a, 5e3));
+        c.add_diode(Diode::new(
+            "D1",
+            a,
+            Circuit::GROUND,
+            DiodeParams::new(1e-14),
+        ));
+
+        let dense_opts = SimOptions::new().with_solver(SolverKind::Dense);
+        let mut sd = Solver::new(&c, &dense_opts).unwrap();
+        assert!(!sd.is_sparse());
+        let xd = sd.operating_point().unwrap();
+
+        let sparse_opts = SimOptions::new().with_solver(SolverKind::Sparse);
+        let mut ss = Solver::new(&c, &sparse_opts).unwrap();
+        assert!(ss.is_sparse());
+        let xs = ss.operating_point().unwrap();
+
+        assert_eq!(xd.len(), xs.len());
+        for (d, s) in xd.iter().zip(&xs) {
+            assert_eq!(d.to_bits(), s.to_bits(), "dense {d} vs sparse {s}");
+        }
+
+        // Auto mode: this 6-unknown system sits far below the crossover.
+        let auto = SimOptions::new();
+        let sa = Solver::new(&c, &auto).unwrap();
+        assert!(!sa.is_sparse());
     }
 
     #[test]

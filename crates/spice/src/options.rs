@@ -1,3 +1,32 @@
+/// Which linear-solver backend the engine assembles and factors.
+///
+/// Both backends produce bit-identical solutions (the sparse kernel
+/// replays the dense pivot sequence over a closed fill pattern), so the
+/// choice is purely a performance trade: dense wins below a few dozen
+/// unknowns where its tight loops beat CSR indexing, sparse wins on
+/// multi-cell netlists where O(n³) dense factorization dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Pick per circuit: sparse at or above `crossover` MNA unknowns,
+    /// dense below.
+    Auto {
+        /// System dimension at which the sparse backend takes over.
+        crossover: usize,
+    },
+    /// Always the dense LU workspace.
+    Dense,
+    /// Always the sparse (CSR, recorded-pivot) LU workspace.
+    Sparse,
+}
+
+impl Default for SolverKind {
+    fn default() -> Self {
+        SolverKind::Auto {
+            crossover: obd_linalg::DEFAULT_SPARSE_CROSSOVER,
+        }
+    }
+}
+
 /// Solver tolerances and iteration limits, mirroring the classic SPICE
 /// options (`reltol`, `abstol`, `vntol`, `gmin`).
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +79,10 @@ pub struct SimOptions {
     /// iteration, and only when set, so the default path never reads the
     /// clock.
     pub max_solve_wall: Option<std::time::Duration>,
+    /// Linear-solver backend selection. The default auto mode keeps
+    /// single-cell fixtures on the dense kernel and moves multi-cell
+    /// netlists onto the sparse one; both give bit-identical results.
+    pub solver: SolverKind,
 }
 
 impl SimOptions {
@@ -70,12 +103,19 @@ impl SimOptions {
             predictor: true,
             max_solve_iterations: None,
             max_solve_wall: None,
+            solver: SolverKind::default(),
         }
     }
 
     /// The same options with a per-solve Newton iteration ceiling.
     pub fn with_iteration_budget(mut self, iterations: u64) -> Self {
         self.max_solve_iterations = Some(iterations);
+        self
+    }
+
+    /// The same options with an explicit linear-solver backend.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
         self
     }
 

@@ -3,6 +3,7 @@
 //! touch the heap at all.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -13,23 +14,35 @@ use obd_spice::devices::{
 use obd_spice::engine::Solver;
 use obd_spice::{Circuit, SimOptions};
 
-/// Counts heap operations while `COUNTING` is set; otherwise defers
-/// straight to the system allocator.
+/// Counts heap operations from the measured thread while `COUNTING` is
+/// set; otherwise defers straight to the system allocator.
 struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+thread_local! {
+    /// Set on the thread whose solves are being measured. The test
+    /// harness's own threads (progress printing, result bookkeeping) may
+    /// allocate at any moment; const-init keeps reading this flag itself
+    /// allocation-free inside the allocator.
+    static MEASURED_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    COUNTING.load(Ordering::Relaxed) && MEASURED_THREAD.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -99,6 +112,7 @@ fn mixed_circuit() -> Circuit {
 #[test]
 fn warm_newton_solves_do_not_allocate() {
     let _guard = TEST_LOCK.lock().unwrap();
+    MEASURED_THREAD.with(|c| c.set(true));
     let ckt = mixed_circuit();
     let opts = SimOptions::new();
     let mut solver = Solver::new(&ckt, &opts).unwrap();
@@ -139,6 +153,7 @@ fn warm_newton_solves_do_not_allocate() {
 #[test]
 fn metrics_disabled_path_does_not_allocate_in_hot_loop() {
     let _guard = TEST_LOCK.lock().unwrap();
+    MEASURED_THREAD.with(|c| c.set(true));
     obd_metrics::disable();
 
     let ckt = mixed_circuit();

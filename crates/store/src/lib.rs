@@ -45,6 +45,10 @@
 //!   A crash at any point leaves either the old file (rename not yet
 //!   issued) or the new file (rename durable) fully valid — there is no
 //!   in-between state, because the old file is never modified.
+//! - **Size cap.** [`STORE_MAX_BYTES_ENV`] bounds the compacted file:
+//!   compaction evicts the oldest-appended live frames until the
+//!   rewrite fits, counting them in `store.evicted_frames`. Eviction
+//!   only ever costs recomputation — the store is a cache.
 //! - **Maintenance.** [`Store::file_stats`] reports live/dead frame
 //!   counts without touching the index; [`Store::verify`] re-reads and
 //!   re-checksums every live record, dropping any that rotted.
@@ -97,6 +101,9 @@ static STORE_COMPACTIONS: Counter = Counter::new("store.compactions");
 static STORE_COMPACT_RECLAIMED: Counter = Counter::new("store.compact_reclaimed_bytes");
 /// Lock files stolen from dead holders at open.
 static STORE_LOCK_STEALS: Counter = Counter::new("store.lock_steals");
+/// Live frames evicted by size-capped compactions (oldest-appended
+/// first, down to [`STORE_MAX_BYTES_ENV`]).
+static STORE_EVICTED_FRAMES: Counter = Counter::new("store.evicted_frames");
 
 /// Chaos: tear a just-completed append mid-record, simulating a crash
 /// between the write and its completion.
@@ -113,6 +120,13 @@ pub const FORMAT_VERSION: u16 = 1;
 
 /// Environment variable naming the directory of the process-wide store.
 pub const STORE_DIR_ENV: &str = "OBD_STORE_DIR";
+
+/// Environment variable capping the compacted store file size in bytes.
+/// When set (and nonzero), [`Store::compact`] evicts the
+/// oldest-appended live frames until the rewritten file fits under the
+/// cap — the store is a cache, so dropping its coldest entries only
+/// costs recomputation. Unset (or `0`, or unparsable) means uncapped.
+pub const STORE_MAX_BYTES_ENV: &str = "OBD_STORE_MAX_BYTES";
 
 /// The process-wide store, shared by every cache layer that wants warm
 /// starts (the `obd-core` delay cache, the `obd-atpg` good-response
@@ -388,6 +402,9 @@ pub struct Store {
     hits: AtomicU64,
     misses: AtomicU64,
     puts: AtomicU64,
+    /// Compacted-file size cap in bytes; `0` means uncapped. Seeded from
+    /// [`STORE_MAX_BYTES_ENV`] at open, adjustable per handle.
+    max_bytes: AtomicU64,
 }
 
 /// Directories currently open in this process — a same-process double
@@ -611,7 +628,27 @@ impl Store {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             puts: AtomicU64::new(0),
+            max_bytes: AtomicU64::new(
+                std::env::var(STORE_MAX_BYTES_ENV)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                    .unwrap_or(0),
+            ),
         })
+    }
+
+    /// The compacted-file size cap, `None` when uncapped.
+    pub fn max_bytes(&self) -> Option<u64> {
+        match self.max_bytes.load(Ordering::Relaxed) {
+            0 => None,
+            cap => Some(cap),
+        }
+    }
+
+    /// Sets (or clears, with `None` or `Some(0)`) the compacted-file
+    /// size cap, overriding whatever [`STORE_MAX_BYTES_ENV`] seeded.
+    pub fn set_max_bytes(&self, cap: Option<u64>) {
+        self.max_bytes.store(cap.unwrap_or(0), Ordering::Relaxed);
     }
 
     /// Path of the backing store file.
@@ -765,7 +802,9 @@ impl Store {
     /// atomically renames it over the store file. Superseded records
     /// (older appends under a reused digest) are reclaimed; records
     /// that fail their checksum during the rewrite are dropped rather
-    /// than copied forward.
+    /// than copied forward. Under a size cap ([`Store::max_bytes`],
+    /// seeded from [`STORE_MAX_BYTES_ENV`]) the oldest-appended live
+    /// frames are evicted first until the rewritten file fits.
     ///
     /// Crash safety: the original file is never modified, and `rename`
     /// on one filesystem is all-or-nothing — a crash at any point
@@ -796,6 +835,27 @@ impl Store {
         // Log order, so the compacted file scans in the same sequence
         // the records were committed.
         entries.sort_by_key(|&(_, e)| e.offset);
+
+        // Size cap: evict the oldest-appended live frames (front of the
+        // log-ordered list) until the rewritten file would fit. Evicted
+        // digests simply never enter the new index — the next get is a
+        // clean miss and the caller recomputes.
+        let mut evicted = 0usize;
+        if let Some(cap) = self.max_bytes() {
+            let mut projected = HEADER_LEN
+                + entries
+                    .iter()
+                    .map(|&(_, e)| FRAME_LEN + u64::from(e.len))
+                    .sum::<u64>();
+            while evicted < entries.len() && projected > cap {
+                projected -= FRAME_LEN + u64::from(entries[evicted].1.len);
+                evicted += 1;
+            }
+            if evicted > 0 {
+                entries.drain(..evicted);
+                STORE_EVICTED_FRAMES.add(evicted as u64);
+            }
+        }
 
         // One roll decides whether (and where) this compaction "crashes":
         // after `torn_at` whole records, mid-way through the next frame.
@@ -864,6 +924,7 @@ impl Store {
         Ok(CompactReport {
             live_records,
             dropped_records: dropped,
+            evicted_records: evicted,
             before_bytes,
             after_bytes: pos,
             reclaimed_bytes: reclaimed,
@@ -946,6 +1007,9 @@ pub struct CompactReport {
     pub live_records: usize,
     /// Records dropped for failing their checksum during the rewrite.
     pub dropped_records: usize,
+    /// Oldest-appended live frames evicted to honor the size cap
+    /// ([`STORE_MAX_BYTES_ENV`]); zero when uncapped or already under.
+    pub evicted_records: usize,
     /// File length before (durable prefix).
     pub before_bytes: u64,
     /// File length after.

@@ -48,6 +48,10 @@ for key in ("serve.jobs_replayed", "serve.retries", "serve.watchdog_restarts",
             "serve.dead_lettered", "store.compactions",
             "store.compact_reclaimed_bytes"):
     assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
+# The size-capped maintenance pass and the mini Monte Carlo campaign
+# run inside the stats flow too.
+for key in ("store.evicted_frames", "monte.samples", "monte.measurements"):
+    assert counters.get(key, 0) > 0, f"expected nonzero counter {key}: {counters.get(key)}"
 assert "serve.job_wall_ms" in snap["histograms"], "serve wall-time histogram missing"
 print(
     "METRICS_run.json ok:",
@@ -73,8 +77,10 @@ assert run["accounted"], "chaos accounting did not balance"
 assert run["injected_total"] >= 200, f"too few injections: {run['injected_total']}"
 assert run["recovered_total"] > 0, "no injection was recovered"
 layers = {l["layer"] for l in run["layers"] if l["injected"] > 0}
-assert layers == {"linalg", "spice", "core", "atpg", "fleet", "store", "serve"}, \
+assert layers == {"linalg", "spice", "core", "atpg", "fleet", "store", "serve",
+                  "monte"}, \
     f"layers missing injections: {layers}"
+assert "monte.params_corrupt" in run["points"], "monte.params_corrupt point missing"
 serve = next(l for l in run["layers"] if l["layer"] == "serve")
 assert serve["panics"] == 0 and serve["injected"] == \
     serve["recovered"] + serve["degraded"] + serve["reported"], \
@@ -87,6 +93,37 @@ print(
     f"recovered={run['recovered_total']}",
     "panics=0",
 )
+EOF
+
+# Smoke the Monte Carlo variation verb: a fixed seed must produce a
+# byte-identical MONTE_run.json at any thread count (counter-seeded
+# streams, per-index result slots), with percentile and detection
+# fields present and exact corner accounting for every probe.
+OBD_MONTE_SAMPLES=3 OBD_MONTE_STEP_PS=8 OBD_MONTE_THREADS=1 \
+    ./target/release/repro monte
+mv results/MONTE_run.json results/MONTE_run.t1.json
+OBD_MONTE_SAMPLES=3 OBD_MONTE_STEP_PS=8 OBD_MONTE_THREADS=4 \
+    ./target/release/repro monte
+cmp results/MONTE_run.t1.json results/MONTE_run.json \
+    || { echo "MONTE_run.json differs between 1 and 4 threads"; exit 1; }
+rm results/MONTE_run.t1.json
+python3 - <<'EOF'
+import json
+
+with open("results/MONTE_run.json") as f:
+    run = json.load(f)
+assert run["engine"] == "monte" and run["samples"] == 3
+assert run["degraded_total"] == 0, f"corners degraded without chaos armed: {run}"
+labels = [p["label"] for p in run["probes"]]
+assert "fault_free_fall" in labels and "mbd2_nmos_fall" in labels, labels
+for p in run["probes"]:
+    for key in ("p05_ps", "p50_ps", "p95_ps", "stuck", "degraded", "detected",
+                "detect_prob", "delays_ps"):
+        assert key in p, f"{p['label']}: missing field {key}"
+    assert p["stuck"] + p["degraded"] + len(p["delays_ps"]) == run["samples"], \
+        f"{p['label']}: corner accounting broken"
+print(f"MONTE_run.json ok: {run['samples']} corners x {len(run['probes'])} probes, "
+      "byte-identical across thread counts")
 EOF
 
 # Smoke the batch front-end end to end: a mixed 12-job queue (Table 1,
@@ -228,11 +265,25 @@ store = bench["store"]
 assert store["warm_store_hits"] > 0, f"warm Table 1 ran cold: {store}"
 assert store["byte_identical"] is True, "warm Table 1 diverged from cold"
 assert store["cold_s"] > 0 and store["warm_s"] >= 0
+# Sparse-vs-dense contrast: both backends must regenerate the exact
+# same f64 bit patterns, and the multi-cell fixture must show the CSR
+# backend's win over dense factorization.
+sparse = bench["sparse"]
+assert sparse["byte_identical"] is True, "sparse backend diverged from dense"
+assert sparse["unknowns"] >= 40, f"fixture too small: {sparse['unknowns']} unknowns"
+assert sparse["speedup"] > 0, f"sparse speedup not recorded: {sparse}"
+assert sparse["table1_dense_s"] > 0 and sparse["table1_sparse_s"] > 0
+# Monte Carlo throughput section: a real campaign must have been timed.
+monte = bench["monte"]
+assert monte["samples"] >= 1 and monte["probes"] >= 2
+assert monte["wall_s"] > 0 and monte["corners_per_sec"] > 0
 print(
     "BENCH_spice.json ok:",
     f"warm_speedup={store['warm_speedup']:.2f}x",
     f"warm_store_hits={store['warm_store_hits']}",
     "byte_identical=true",
+    f"sparse_speedup={sparse['speedup']:.2f}x on {sparse['unknowns']} unknowns",
+    f"monte={monte['corners_per_sec']:.2f} corners/s",
 )
 EOF
 
